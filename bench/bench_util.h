@@ -1,0 +1,50 @@
+// Shared helpers for the experiment harnesses (bench/x*).
+//
+// Every harness prints the experiment id, the claim it reproduces, a table of
+// measured rows, and a PASS/FAIL verdict for the claim's shape, so
+// `for b in build/bench/*; do $b; done` yields a self-contained report.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "geometry/deployment.h"
+#include "graph/unit_disk_graph.h"
+#include "sinr/params.h"
+
+namespace sinrcolor::bench {
+
+/// Physical layer whose transmission range R_T equals `r_t` with the library
+/// default α, β, ρ (noise solved from the R_T definition).
+inline sinr::SinrParams phys_for_radius(double r_t) {
+  sinr::SinrParams p;
+  p.noise = p.power / (2.0 * p.beta * std::pow(r_t, p.alpha));
+  return p;
+}
+
+/// Uniform deployment with expected average degree ≈ `avg_degree`
+/// (side chosen so n·π·R_T²/side² = avg_degree; R_T = 1).
+inline graph::UnitDiskGraph uniform_graph_with_density(std::size_t n,
+                                                       double avg_degree,
+                                                       std::uint64_t seed) {
+  const double side =
+      std::sqrt(static_cast<double>(n) * M_PI / avg_degree);
+  common::Rng rng(seed);
+  return {geometry::uniform_deployment(n, side, rng), 1.0};
+}
+
+inline void print_experiment_header(const char* id, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline int print_verdict(bool pass, const std::string& detail) {
+  std::printf("verdict: %s — %s\n", pass ? "PASS" : "FAIL", detail.c_str());
+  return pass ? 0 : 1;
+}
+
+}  // namespace sinrcolor::bench

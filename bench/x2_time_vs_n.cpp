@@ -1,0 +1,82 @@
+// X2 — Theorem 2 (time, growth in n): at fixed density (Δ ≈ const) the
+// decision latency grows like O(Δ log n), i.e. ~logarithmically in n. We fit
+// latency against Δ·ln n and report the normalized constant per row; the
+// claim's shape holds iff the constant is flat (no super-logarithmic drift).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/cli.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/mw_protocol.h"
+
+int main(int argc, char** argv) {
+  using namespace sinrcolor;
+  const common::Cli cli(argc, argv);
+  const bool full = cli.get_bool("full", false);
+  const double avg = cli.get_double("avg-degree", 10.0);
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 2));
+  const std::string csv_path = cli.get("csv", "");
+  cli.reject_unknown();
+
+  bench::print_experiment_header(
+      "X2: time vs n (fixed density)",
+      "Theorem 2 — time is O(Delta log n): with Delta ~ constant, max "
+      "decision latency grows ~ln n; latency/(Delta*ln n) stays flat");
+
+  std::vector<std::size_t> sizes{64, 128, 256, 512, 1024};
+  if (full) sizes.push_back(2048);
+
+  common::Table table({"n", "Delta", "max_latency", "mean_latency",
+                       "latency/(Delta*ln n)", "valid"});
+  std::vector<double> constants;
+  bool all_valid = true;
+
+  for (std::size_t n : sizes) {
+    common::Accumulator delta_acc, max_lat, mean_lat, norm;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      const auto g = bench::uniform_graph_with_density(n, avg, 2000 + s);
+      core::MwRunConfig cfg;
+      cfg.seed = 7000 + s;
+      const auto r = core::run_mw_coloring(g, cfg);
+      all_valid &= r.coloring_valid && r.metrics.all_decided;
+      const double latency =
+          static_cast<double>(r.metrics.max_decision_latency());
+      const double dln = static_cast<double>(g.max_degree()) *
+                         std::log(static_cast<double>(n));
+      delta_acc.add(static_cast<double>(g.max_degree()));
+      max_lat.add(latency);
+      mean_lat.add(r.metrics.mean_decision_latency());
+      norm.add(latency / dln);
+    }
+    constants.push_back(norm.mean());
+    table.add_row({common::Table::integer(static_cast<long long>(n)),
+                   common::Table::num(delta_acc.mean(), 1),
+                   common::Table::num(max_lat.mean(), 0),
+                   common::Table::num(mean_lat.mean(), 0),
+                   common::Table::num(norm.mean(), 1),
+                   all_valid ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  if (!csv_path.empty() && table.write_csv(csv_path)) {
+    std::printf("rows written to %s\n", csv_path.c_str());
+  }
+
+  // Shape check: the normalized constant must not drift more than ~2.5x
+  // across a 16x range of n (log-growth would keep it flat; linear growth in
+  // n would blow it up ~16/ln-ratio ≈ 6x).
+  double lo = constants.front(), hi = constants.front();
+  for (double c : constants) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  std::printf("normalized constant range: [%.1f, %.1f] (ratio %.2f)\n", lo, hi,
+              hi / lo);
+  const bool flat = hi / lo < 2.5;
+  return bench::print_verdict(all_valid && flat,
+                              flat ? "latency tracks Delta*ln n"
+                                   : "latency grows faster than Delta*ln n");
+}

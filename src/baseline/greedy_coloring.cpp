@@ -1,0 +1,53 @@
+#include "baseline/greedy_coloring.h"
+
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sinrcolor::baseline {
+namespace {
+
+graph::Coloring greedy_on_conflicts(
+    const graph::UnitDiskGraph& g,
+    const std::function<std::vector<graph::NodeId>(graph::NodeId)>& conflicts) {
+  graph::Coloring coloring;
+  coloring.color.assign(g.size(), graph::kUncolored);
+  std::vector<bool> taken;
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    taken.assign(g.size() + 1, false);
+    for (graph::NodeId u : conflicts(v)) {
+      const graph::Color c = coloring.color[u];
+      if (c != graph::kUncolored) taken[static_cast<std::size_t>(c)] = true;
+    }
+    graph::Color chosen = graph::kUncolored;
+    for (std::size_t c = 0; c < taken.size(); ++c) {
+      if (!taken[c]) {
+        chosen = static_cast<graph::Color>(c);
+        break;
+      }
+    }
+    SINRCOLOR_CHECK(chosen != graph::kUncolored);
+    coloring.color[v] = chosen;
+  }
+  return coloring;
+}
+
+}  // namespace
+
+graph::Coloring greedy_coloring(const graph::UnitDiskGraph& g) {
+  return greedy_on_conflicts(g, [&](graph::NodeId v) {
+    const auto nbrs = g.neighbors(v);
+    return std::vector<graph::NodeId>(nbrs.begin(), nbrs.end());
+  });
+}
+
+graph::Coloring greedy_distance_d_coloring(const graph::UnitDiskGraph& g,
+                                           double d) {
+  SINRCOLOR_CHECK(d >= 1.0);
+  const double range = d * g.radius();
+  return greedy_on_conflicts(
+      g, [&](graph::NodeId v) { return g.nodes_within(v, range); });
+}
+
+}  // namespace sinrcolor::baseline

@@ -1,0 +1,19 @@
+// Centralized greedy colorings — the classical baselines the distributed
+// algorithm is compared against (palette quality oracle, and a fast way to
+// produce distance-d colorings for MAC experiments without a protocol run).
+#pragma once
+
+#include "graph/coloring.h"
+#include "graph/unit_disk_graph.h"
+
+namespace sinrcolor::baseline {
+
+/// First-fit greedy in id order: a (1, Δ+1)-coloring.
+graph::Coloring greedy_coloring(const graph::UnitDiskGraph& g);
+
+/// First-fit greedy on the distance-d conflict graph (nodes within d·R_T must
+/// differ): a (d, φ(d·R_T)·Δ)-coloring; palette ≤ Δ_{G^d}+1.
+graph::Coloring greedy_distance_d_coloring(const graph::UnitDiskGraph& g,
+                                           double d);
+
+}  // namespace sinrcolor::baseline

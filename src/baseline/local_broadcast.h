@@ -1,0 +1,39 @@
+// Distributed local broadcasting under SINR, and an idealized-CSMA variant.
+//
+// Local broadcasting — every node must deliver one message to all of its
+// neighbors — is the primitive studied by Goussevskaia, Moscibroda and
+// Wattenhofer ("Local broadcasting in the physical interference model",
+// 2008), the closest SINR-algorithmics relative of the paper's MAC layer.
+// With known Δ, transmitting with probability p = Θ(1/Δ) for Θ(Δ log n)
+// slots succeeds w.h.p. These runners measure that primitive empirically and
+// provide the schedule-free baselines for experiment X13:
+//   * slotted ALOHA with the 1/Δ probability scaling (the [21]-style scheme);
+//   * idealized CSMA: carrier sensing defers to already-committed
+//     transmitters above a power threshold before joining a slot.
+#pragma once
+
+#include "baseline/aloha.h"
+#include "graph/unit_disk_graph.h"
+#include "sinr/params.h"
+
+namespace sinrcolor::baseline {
+
+/// [21]-style local broadcast: p = prob_num/Δ, hard slot budget
+/// ⌈kappa·Δ·ln n / prob_num⌉. `completed` says whether every (sender,
+/// neighbor) pair was served within the budget — the w.h.p. claim.
+AlohaResult run_local_broadcast_known_delta(const graph::UnitDiskGraph& g,
+                                            const sinr::SinrParams& phys,
+                                            double prob_num, double kappa,
+                                            std::uint64_t seed);
+
+/// Idealized CSMA local broadcast: each slot, pending nodes are visited in a
+/// random order; a node joins the slot's transmitter set with probability p
+/// unless the already-committed transmitters deposit more than
+/// `cs_threshold_factor · N` power at its own position (carrier sensing with
+/// zero propagation delay). Runs until all pairs served or `max_slots`.
+AlohaResult run_csma_local_broadcast(const graph::UnitDiskGraph& g,
+                                     const sinr::SinrParams& phys, double p,
+                                     double cs_threshold_factor,
+                                     radio::Slot max_slots, std::uint64_t seed);
+
+}  // namespace sinrcolor::baseline

@@ -1,0 +1,37 @@
+#include "baseline/mw_graph_model.h"
+
+namespace sinrcolor::baseline {
+
+core::PracticalTuning graph_model_tuning() {
+  core::PracticalTuning tuning;
+  // In the graph model a q-sender is heard iff no other neighbor transmits,
+  // so higher probabilities and tighter windows are safe (locally, the
+  // contention is bounded by Δ·q_s + q_ℓ regardless of the rest of the
+  // network). These values mirror the spirit of the original MW constants.
+  tuning.q_leader = 0.3;
+  tuning.kappa = 3.0;
+  tuning.sigma_factor = 2.5;
+  tuning.eta_factor = 4.5;
+  tuning.mu_factor = 3.0;
+  return tuning;
+}
+
+core::MwRunResult run_mw_graph_model(const graph::UnitDiskGraph& g,
+                                     std::uint64_t seed) {
+  core::MwRunConfig config;
+  config.tuning = graph_model_tuning();
+  config.graph_model = true;
+  config.seed = seed;
+  return core::run_mw_coloring(g, config);
+}
+
+core::MwRunResult run_mw_graph_tuning_under_sinr(const graph::UnitDiskGraph& g,
+                                                 std::uint64_t seed) {
+  core::MwRunConfig config;
+  config.tuning = graph_model_tuning();
+  config.graph_model = false;
+  config.seed = seed;
+  return core::run_mw_coloring(g, config);
+}
+
+}  // namespace sinrcolor::baseline

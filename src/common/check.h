@@ -1,0 +1,38 @@
+// Narrow-contract checking utilities.
+//
+// SINRCOLOR_CHECK is an always-on invariant check (simulator correctness is a
+// deliverable of this reproduction, so we do not compile checks out in release
+// builds); SINRCOLOR_DCHECK is a debug-only variant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sinrcolor::common {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s (%s:%d)%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace sinrcolor::common
+
+#define SINRCOLOR_CHECK(expr)                                                     \
+  do {                                                                            \
+    if (!(expr)) ::sinrcolor::common::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define SINRCOLOR_CHECK_MSG(expr, msg)                                              \
+  do {                                                                              \
+    if (!(expr)) ::sinrcolor::common::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifdef NDEBUG
+#define SINRCOLOR_DCHECK(expr) \
+  do {                         \
+  } while (false)
+#else
+#define SINRCOLOR_DCHECK(expr) SINRCOLOR_CHECK(expr)
+#endif

@@ -1,0 +1,96 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sinrcolor::common {
+namespace {
+
+[[noreturn]] void usage_error(const std::string& program, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", program.c_str(), message.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      usage_error(program_, "positional arguments are not supported: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  consumed_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name, const std::string& default_value) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t default_value) const {
+  const std::string raw = get(name, "");
+  if (raw.empty()) return default_value;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    usage_error(program_, "flag --" + name + " expects an integer, got '" + raw + "'");
+  }
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double default_value) const {
+  const std::string raw = get(name, "");
+  if (raw.empty()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    usage_error(program_, "flag --" + name + " expects a number, got '" + raw + "'");
+  }
+  return v;
+}
+
+bool Cli::get_bool(const std::string& name, bool default_value) const {
+  const std::string raw = get(name, "");
+  if (raw.empty()) return default_value;
+  if (raw == "true" || raw == "1" || raw == "yes") return true;
+  if (raw == "false" || raw == "0" || raw == "no") return false;
+  usage_error(program_, "flag --" + name + " expects a boolean, got '" + raw + "'");
+}
+
+std::uint64_t Cli::get_seed(const std::string& name, std::uint64_t default_value) const {
+  const std::string raw = get(name, "");
+  if (raw.empty()) return default_value;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') {
+    usage_error(program_, "flag --" + name + " expects a seed, got '" + raw + "'");
+  }
+  return v;
+}
+
+void Cli::reject_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (consumed_.find(name) == consumed_.end()) {
+      usage_error(program_, "unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace sinrcolor::common

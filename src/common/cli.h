@@ -1,0 +1,36 @@
+// Tiny command-line flag parser used by examples and experiment binaries.
+// Supports "--name=value" and "--name value"; unknown flags are an error so
+// typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sinrcolor::common {
+
+class Cli {
+ public:
+  /// Parses argv; aborts with a usage message on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& default_value) const;
+  std::int64_t get_int(const std::string& name, std::int64_t default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value) const;
+  std::uint64_t get_seed(const std::string& name, std::uint64_t default_value) const;
+
+  /// Names consumed via get*(); call after all reads to reject unknown flags.
+  void reject_unknown() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace sinrcolor::common

@@ -1,0 +1,35 @@
+#include "common/csv.h"
+
+#include "common/check.h"
+
+namespace sinrcolor::common {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  SINRCOLOR_CHECK(!header.empty());
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  SINRCOLOR_CHECK(cells.size() == width_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace sinrcolor::common

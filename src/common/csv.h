@@ -1,0 +1,26 @@
+// Minimal CSV writer so experiment output can be post-processed/plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sinrcolor::common {
+
+/// Writes rows of a CSV file with proper quoting. The file is created on
+/// construction and flushed on destruction (RAII).
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+  bool ok() const { return static_cast<bool>(out_); }
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace sinrcolor::common

@@ -1,0 +1,128 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace sinrcolor::common {
+
+void JsonWriter::prefix_for_value() {
+  if (expecting_value_) {
+    expecting_value_ = false;
+    return;  // value follows "key":
+  }
+  if (!stack_.empty()) {
+    SINRCOLOR_CHECK_MSG(stack_.back() == Frame::kArray,
+                        "object members need a key() first");
+    if (!first_in_frame_.back()) out_ += ',';
+    first_in_frame_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  prefix_for_value();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  SINRCOLOR_CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  SINRCOLOR_CHECK_MSG(!expecting_value_, "dangling key");
+  out_ += '}';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  prefix_for_value();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  SINRCOLOR_CHECK(!stack_.empty() && stack_.back() == Frame::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+}
+
+void JsonWriter::key(const std::string& name) {
+  SINRCOLOR_CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  SINRCOLOR_CHECK_MSG(!expecting_value_, "two keys in a row");
+  if (!first_in_frame_.back()) out_ += ',';
+  first_in_frame_.back() = false;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  expecting_value_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  prefix_for_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  prefix_for_value();
+  SINRCOLOR_CHECK_MSG(std::isfinite(v), "JSON numbers must be finite");
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  prefix_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  prefix_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  prefix_for_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  prefix_for_value();
+  out_ += "null";
+}
+
+const std::string& JsonWriter::str() const {
+  SINRCOLOR_CHECK_MSG(stack_.empty(), "unclosed JSON containers");
+  return out_;
+}
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string escaped;
+  escaped.reserve(raw.size());
+  for (unsigned char ch : raw) {
+    switch (ch) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          escaped += buf;
+        } else {
+          escaped += static_cast<char>(ch);
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace sinrcolor::common

@@ -1,0 +1,62 @@
+// Minimal JSON writer (no DOM, no parsing): experiment and run results are
+// exported for downstream tooling. Emits valid RFC-8259 documents; numbers
+// are finite doubles/integers, strings are escaped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sinrcolor::common {
+
+/// Streaming JSON builder. Usage:
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("n"); json.value(42);
+///   json.key("colors"); json.begin_array(); json.value(1); ... json.end_array();
+///   json.end_object();
+///   std::string doc = json.str();
+/// Nesting is validated with asserts; values/keys must alternate correctly.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value/container.
+  void key(const std::string& name);
+
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Convenience: key + value.
+  template <typename T>
+  void field(const std::string& name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  /// The finished document; only valid once all containers are closed.
+  const std::string& str() const;
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void prefix_for_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool expecting_value_ = false;  // a key was just written
+};
+
+}  // namespace sinrcolor::common

@@ -1,0 +1,10 @@
+#include "common/rng.h"
+
+// Header-only; this TU exists so the module has a linkable archive member and
+// a place for future non-inline helpers.
+namespace sinrcolor::common {
+
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+
+}  // namespace sinrcolor::common

@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <limits>
+#include <numeric>
+
+namespace sinrcolor::common {
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Samples::quantile(double q) const {
+  SINRCOLOR_CHECK(q >= 0.0 && q <= 1.0);
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto n = values_.size();
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(std::ceil(q * static_cast<double>(n)),
+                       static_cast<double>(n)));
+  return values_[rank == 0 ? 0 : rank - 1];
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  SINRCOLOR_CHECK(x.size() == y.size());
+  LinearFit fit;
+  const auto n = static_cast<double>(x.size());
+  if (x.size() < 2) return fit;
+
+  const double mean_x = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double mean_y = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace sinrcolor::common

@@ -1,0 +1,266 @@
+#include "core/mw_node.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sinrcolor::core {
+
+const char* to_string(MwStateKind kind) {
+  switch (kind) {
+    case MwStateKind::kAsleep: return "asleep";
+    case MwStateKind::kListening: return "listening";
+    case MwStateKind::kCompeting: return "competing";
+    case MwStateKind::kRequesting: return "requesting";
+    case MwStateKind::kLeader: return "leader";
+    case MwStateKind::kColored: return "colored";
+  }
+  return "?";
+}
+
+MwNode::MwNode(graph::NodeId id, const MwParams& params)
+    : id_(id), params_(params) {}
+
+void MwNode::on_wake(radio::Slot /*slot*/) {
+  SINRCOLOR_CHECK(state_ == MwStateKind::kAsleep);
+  enter_class(0);
+}
+
+void MwNode::enter_class(std::int32_t j) {
+  state_ = MwStateKind::kListening;
+  color_class_ = j;
+  competitors_.clear();
+  counter_ = 0;
+  listen_remaining_ = params_.listen_slots;
+}
+
+MwNode::Competitor* MwNode::find_competitor(graph::NodeId w) {
+  const auto it = std::find_if(competitors_.begin(), competitors_.end(),
+                               [w](const Competitor& c) { return c.id == w; });
+  return it == competitors_.end() ? nullptr : &*it;
+}
+
+std::int64_t MwNode::chi(radio::Slot now) const {
+  // Largest χ ≤ 0 with χ ∉ [d_v(w) − W, d_v(w) + W] for every w ∈ P_v.
+  // Start at 0 and drop below each blocking interval until none blocks;
+  // the candidate strictly decreases, so at most |P_v| passes happen.
+  const std::int64_t window = params_.counter_window(color_class_);
+  std::int64_t candidate = 0;
+  bool blocked = true;
+  while (blocked) {
+    blocked = false;
+    for (const auto& c : competitors_) {
+      const std::int64_t d = c.mirror(now);
+      if (candidate >= d - window && candidate <= d + window) {
+        candidate = d - window - 1;
+        blocked = true;
+      }
+    }
+  }
+  return std::min<std::int64_t>(candidate, 0);
+}
+
+std::optional<radio::Message> MwNode::begin_slot(radio::Slot slot,
+                                                 common::Rng& rng) {
+  switch (state_) {
+    case MwStateKind::kAsleep:
+      SINRCOLOR_CHECK_MSG(false, "begin_slot on a sleeping node");
+      return std::nullopt;
+
+    case MwStateKind::kListening: {
+      if (listen_remaining_ > 0) {
+        // Fig. 1 line 3 (mirror advance is implicit; see Competitor::mirror).
+        --listen_remaining_;
+        return std::nullopt;
+      }
+      // Fig. 1 line 6: leave the listening phase with c_v := χ(P_v) and fall
+      // through to the first competition iteration in this same slot.
+      state_ = MwStateKind::kCompeting;
+      counter_ = chi(slot);
+      [[fallthrough]];
+    }
+
+    case MwStateKind::kCompeting: {
+      // Fig. 1 lines 8–11.
+      ++counter_;
+      if (counter_ >= params_.counter_threshold) {
+        if (color_class_ == 0) {
+          state_ = MwStateKind::kLeader;  // joins the independent set C_0
+        } else {
+          state_ = MwStateKind::kColored;
+        }
+        return std::nullopt;
+      }
+      if (rng.bernoulli(params_.q_small)) {
+        radio::Message m;
+        m.kind = radio::MessageKind::kCompete;
+        m.sender = id_;
+        m.color_class = color_class_;
+        m.counter = counter_;
+        return m;
+      }
+      return std::nullopt;
+    }
+
+    case MwStateKind::kRequesting: {
+      // Fig. 3 line 2.
+      if (rng.bernoulli(params_.q_small)) {
+        radio::Message m;
+        m.kind = radio::MessageKind::kRequest;
+        m.sender = id_;
+        m.target = leader_;
+        return m;
+      }
+      return std::nullopt;
+    }
+
+    case MwStateKind::kLeader:
+      return leader_slot(rng);
+
+    case MwStateKind::kColored: {
+      // Fig. 2 line 3: beacon the final color with probability q_s.
+      if (rng.bernoulli(params_.q_small)) {
+        radio::Message m;
+        m.kind = radio::MessageKind::kColorBeacon;
+        m.sender = id_;
+        m.color_class = color_class_;
+        return m;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<radio::Message> MwNode::leader_slot(common::Rng& rng) {
+  // Fig. 2 lines 5–14 (i = 0).
+  if (!serving_ && !request_queue_.empty()) {
+    ++next_cluster_color_;  // tc := tc + 1
+    serving_ = true;
+    serve_remaining_ = params_.assign_slots;
+  }
+  if (serving_) {
+    // Fig. 2 line 13: address the front of the queue for ⌈μ ln n⌉ slots.
+    std::optional<radio::Message> tx;
+    if (rng.bernoulli(params_.q_leader)) {
+      radio::Message m;
+      m.kind = radio::MessageKind::kColorAssign;
+      m.sender = id_;
+      m.target = request_queue_.front();
+      m.color_class = 0;
+      m.tc = next_cluster_color_;
+      tx = m;
+    }
+    if (--serve_remaining_ == 0) {
+      request_queue_.pop_front();  // Fig. 2 line 14
+      serving_ = false;
+    }
+    return tx;
+  }
+  // Fig. 2 line 9: idle beacon.
+  if (rng.bernoulli(params_.q_leader)) {
+    radio::Message m;
+    m.kind = radio::MessageKind::kColorBeacon;
+    m.sender = id_;
+    m.color_class = 0;
+    return m;
+  }
+  return std::nullopt;
+}
+
+void MwNode::on_receive(radio::Slot slot, const radio::Message& msg) {
+  switch (state_) {
+    case MwStateKind::kAsleep:
+      SINRCOLOR_CHECK_MSG(false, "delivery to a sleeping node");
+      return;
+
+    case MwStateKind::kListening:
+    case MwStateKind::kCompeting: {
+      const bool class_zero = color_class_ == 0;
+      // "M_C^i received": a class-i color beacon, or — for class 0 — any
+      // leader transmission (assignments M_C^0(v,w,tc) equally prove that a
+      // leader covers us; Fig. 1 line 5 / line 12).
+      const bool leader_signal =
+          (msg.kind == radio::MessageKind::kColorBeacon &&
+           msg.color_class == color_class_) ||
+          (class_zero && msg.kind == radio::MessageKind::kColorAssign);
+      if (leader_signal) {
+        if (class_zero) {
+          leader_ = msg.sender;  // L(v) := w; state := R
+          state_ = MwStateKind::kRequesting;
+        } else {
+          enter_class(color_class_ + 1);  // state := A_{i+1}
+        }
+        return;
+      }
+      if (msg.kind == radio::MessageKind::kCompete &&
+          msg.color_class == color_class_) {
+        // Fig. 1 lines 4 / 13–15.
+        if (Competitor* known = find_competitor(msg.sender)) {
+          known->base = msg.counter;
+          known->recorded_slot = slot;
+        } else {
+          competitors_.push_back({msg.sender, msg.counter, slot});
+        }
+        if (state_ == MwStateKind::kCompeting) {
+          const std::int64_t window = params_.counter_window(color_class_);
+          if (std::llabs(counter_ - msg.counter) <= window) {
+            counter_ = chi(slot);
+            ++resets_;
+          }
+        }
+      }
+      return;
+    }
+
+    case MwStateKind::kRequesting: {
+      // Fig. 3 line 3: only our leader's assignment addressed to us counts.
+      if (msg.kind == radio::MessageKind::kColorAssign && msg.sender == leader_ &&
+          msg.target == id_) {
+        const std::int32_t base =
+            msg.tc * (params_.phi_2rt + 1);  // A_{tc(φ(2R_T)+1)}
+        enter_class(base);
+      }
+      return;
+    }
+
+    case MwStateKind::kLeader: {
+      // Fig. 2 line 7.
+      if (msg.kind == radio::MessageKind::kRequest && msg.target == id_) {
+        const bool queued =
+            std::find(request_queue_.begin(), request_queue_.end(),
+                      msg.sender) != request_queue_.end();
+        if (!queued) request_queue_.push_back(msg.sender);
+      }
+      return;
+    }
+
+    case MwStateKind::kColored:
+      return;  // final; ignores all traffic
+  }
+}
+
+void MwNode::end_slot(radio::Slot /*slot*/) {}
+
+graph::Color MwNode::final_color() const {
+  if (state_ == MwStateKind::kLeader) return 0;
+  if (state_ == MwStateKind::kColored) return color_class_;
+  return graph::kUncolored;
+}
+
+double MwNode::tx_probability() const {
+  switch (state_) {
+    case MwStateKind::kAsleep:
+    case MwStateKind::kListening:
+      return 0.0;
+    case MwStateKind::kCompeting:
+    case MwStateKind::kRequesting:
+    case MwStateKind::kColored:
+      return params_.q_small;
+    case MwStateKind::kLeader:
+      return params_.q_leader;
+  }
+  return 0.0;
+}
+
+}  // namespace sinrcolor::core

@@ -1,0 +1,108 @@
+// Per-node state machine of the MW coloring algorithm (paper, Figs. 1–3).
+//
+// States (paper notation → ours):
+//   A_i, listening phase (Fig. 1 lines 2–5)  → kListening
+//   A_i, competition loop (Fig. 1 lines 7–15)→ kCompeting
+//   R   (Fig. 3)                             → kRequesting
+//   C_0 (Fig. 2, i = 0: leader)              → kLeader
+//   C_i (Fig. 2, i > 0: colored)             → kColored
+//
+// A node wakes into A_0's listening phase. Leaders (first locally to drive
+// their counter to ⌈σΔ ln n⌉ in class 0) beacon forever and hand out cluster
+// colors tc = 1, 2, … to requesting cluster members; a member granted tc then
+// competes for its final color in classes tc·(φ(2R_T)+1) + k, k = 0..φ(2R_T).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/mw_params.h"
+#include "graph/coloring.h"
+#include "radio/protocol.h"
+
+namespace sinrcolor::core {
+
+enum class MwStateKind : std::uint8_t {
+  kAsleep,
+  kListening,    ///< A_i lines 2–5: collect counters, never transmit
+  kCompeting,    ///< A_i lines 7–15: increment / reset / transmit M_A
+  kRequesting,   ///< R: ask leader for a cluster color
+  kLeader,       ///< C_0: beacon + serve the request queue
+  kColored,      ///< C_i, i > 0: beacon the final color
+};
+
+const char* to_string(MwStateKind kind);
+
+class MwNode final : public radio::Protocol {
+ public:
+  /// `params` must outlive the node.
+  MwNode(graph::NodeId id, const MwParams& params);
+
+  // --- radio::Protocol ---
+  void on_wake(radio::Slot slot) override;
+  std::optional<radio::Message> begin_slot(radio::Slot slot,
+                                           common::Rng& rng) override;
+  void on_receive(radio::Slot slot, const radio::Message& message) override;
+  void end_slot(radio::Slot slot) override;
+  bool decided() const override {
+    return state_ == MwStateKind::kLeader || state_ == MwStateKind::kColored;
+  }
+
+  // --- introspection (verification, probes, experiments) ---
+  graph::NodeId id() const { return id_; }
+  MwStateKind state() const { return state_; }
+  /// Color class i of the current A_i / C_i (undefined while kRequesting).
+  std::int32_t color_class() const { return color_class_; }
+  /// Final color once decided (leaders: 0); graph::kUncolored before.
+  graph::Color final_color() const;
+  graph::NodeId leader() const { return leader_; }
+  std::int64_t counter() const { return counter_; }
+  /// This node's sending probability in its current state (Lemma-3 probes).
+  double tx_probability() const;
+  /// Cluster colors handed out so far (leaders only).
+  std::int32_t assigned_cluster_colors() const { return next_cluster_color_; }
+  /// Number of counter resets performed (Fig. 1 line 15 / line 6 re-entries).
+  std::uint64_t reset_count() const { return resets_; }
+
+ private:
+  // d_v(w) advances by exactly one per slot (Fig. 1 lines 3/9), so instead of
+  // touching every mirror every slot we store the received counter and its
+  // slot and reconstruct d_v(w) = base + (now − recorded) on demand.
+  struct Competitor {
+    graph::NodeId id;
+    std::int64_t base;          ///< c_w as carried by the last M_A received
+    radio::Slot recorded_slot;  ///< slot of that reception
+
+    std::int64_t mirror(radio::Slot now) const {
+      return base + (now - recorded_slot);
+    }
+  };
+
+  /// Enter A_j: Fig. 1 line 1 initialisation + listening phase.
+  void enter_class(std::int32_t j);
+  /// Fig. 1 line 6: largest value ≤ 0 outside every [d_v(w) ± window].
+  std::int64_t chi(radio::Slot now) const;
+  Competitor* find_competitor(graph::NodeId w);
+  std::optional<radio::Message> leader_slot(common::Rng& rng);
+
+  const graph::NodeId id_;
+  const MwParams& params_;
+
+  MwStateKind state_ = MwStateKind::kAsleep;
+  std::int32_t color_class_ = 0;       ///< i of the current A_i / C_i
+  radio::Slot listen_remaining_ = 0;   ///< slots left in the listening phase
+  std::int64_t counter_ = 0;           ///< c_v
+  std::vector<Competitor> competitors_;  ///< P_v with mirrored counters
+  graph::NodeId leader_ = graph::kInvalidNode;  ///< L(v)
+  std::uint64_t resets_ = 0;
+
+  // Leader (C_0) bookkeeping.
+  std::deque<graph::NodeId> request_queue_;  ///< Q, front = currently served
+  std::int32_t next_cluster_color_ = 0;      ///< tc
+  bool serving_ = false;
+  radio::Slot serve_remaining_ = 0;
+};
+
+}  // namespace sinrcolor::core

@@ -1,0 +1,161 @@
+#include "core/mw_params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "graph/packing.h"
+
+namespace sinrcolor::core {
+namespace {
+
+double safe_log_n(std::size_t n) { return std::log(static_cast<double>(std::max<std::size_t>(n, 3))); }
+
+// Theory-profile slot counts can exceed any integer range for α close to 2
+// (φ(R_I) explodes); saturate instead of overflowing — these values are used
+// for inequality checks and reporting, never to actually run that long.
+std::int64_t ceil_to_i64(double v) {
+  constexpr double kMax = 9.0e18;
+  if (!(v < kMax)) return static_cast<std::int64_t>(kMax);
+  return static_cast<std::int64_t>(std::ceil(v));
+}
+
+}  // namespace
+
+std::int64_t MwParams::palette_bound() const {
+  return (static_cast<std::int64_t>(phi_2rt) + 1) *
+         static_cast<std::int64_t>(std::max<std::size_t>(max_degree, 1));
+}
+
+radio::Slot MwParams::recommended_max_slots() const {
+  // Lemma 6/7 structure: a node traverses at most φ(2R_T)+2 state classes,
+  // each costing O((listen + threshold + resets)) slots; multiply by a
+  // comfortable safety factor for the practical profile's smaller h.p. margin.
+  const double per_state =
+      static_cast<double>(listen_slots + counter_threshold) +
+      static_cast<double>(phi_2rt) * 2.0 * static_cast<double>(window_positive) +
+      static_cast<double>(max_degree + 1) * static_cast<double>(assign_slots);
+  const double states = static_cast<double>(phi_2rt) + 2.0;
+  return std::max<radio::Slot>(1000, ceil_to_i64(40.0 * states * per_state));
+}
+
+MwParams MwParams::theory(const MwConfig& config) {
+  SINRCOLOR_CHECK(config.n >= 1);
+  SINRCOLOR_CHECK(config.max_degree >= 1);
+  SINRCOLOR_CHECK_MSG(config.c >= 5.0, "the paper requires c >= 5");
+  config.phys.validate();
+
+  const double r_t = config.phys.r_t();
+  const double r_i = config.phys.r_i();
+  const double rho = config.phys.rho;
+  const auto delta = static_cast<double>(config.max_degree);
+  const double c = config.c;
+
+  MwParams p;
+  p.n = config.n;
+  p.max_degree = config.max_degree;
+  p.phi_ri = graph::phi_upper_bound(r_i, r_t);
+  p.phi_ri_rt = graph::phi_upper_bound(r_i + r_t, r_t);
+  p.phi_2rt_value = graph::phi_upper_bound(2.0 * r_t, r_t);
+  p.phi_2rt = static_cast<std::int32_t>(std::ceil(p.phi_2rt_value));
+
+  const double phi_ratio = p.phi_ri / p.phi_ri_rt;
+  p.lambda = (1.0 - 1.0 / rho) / std::exp(phi_ratio) *
+             (1.0 - p.phi_ri / (p.phi_ri_rt * p.phi_ri_rt * delta)) *
+             (1.0 - 1.0 / (p.phi_ri_rt * p.phi_ri_rt * delta));
+  p.lambda_prime = (1.0 - 1.0 / rho) / (std::exp(1.0) * p.phi_ri_rt) *
+                   (1.0 - 1.0 / (p.phi_ri_rt * delta)) *
+                   std::pow(1.0 - 1.0 / p.phi_ri_rt, p.phi_ri_rt);
+  SINRCOLOR_CHECK_MSG(p.lambda > 0.0 && p.lambda < 1.0, "lambda out of (0,1)");
+  SINRCOLOR_CHECK_MSG(p.lambda_prime > 0.0 && p.lambda_prime < 1.0,
+                      "lambda' out of (0,1)");
+
+  p.sigma = 2.0 * c / p.lambda_prime;
+  p.gamma = c * p.phi_ri_rt / p.lambda;
+  p.eta = 2.0 * p.gamma * p.phi_2rt_value + p.sigma + 1.0;
+  p.mu = std::max(p.gamma, p.sigma);
+
+  p.q_leader = 1.0 / p.phi_ri_rt;
+  p.q_small = 1.0 / (p.phi_ri_rt * delta);
+
+  const double log_n = safe_log_n(config.n);
+  p.listen_slots = ceil_to_i64(p.eta * delta * log_n);
+  p.counter_threshold = ceil_to_i64(p.sigma * delta * log_n);
+  p.window_zero = ceil_to_i64(p.gamma * log_n);
+  p.window_positive = ceil_to_i64(p.gamma * delta * log_n);
+  p.assign_slots = ceil_to_i64(p.mu * log_n);
+  return p;
+}
+
+MwParams MwParams::practical(const MwConfig& config, const PracticalTuning& tuning) {
+  SINRCOLOR_CHECK(config.n >= 1);
+  SINRCOLOR_CHECK(config.max_degree >= 1);
+  config.phys.validate();
+  SINRCOLOR_CHECK_MSG(tuning.sigma_factor > 2.0,
+                      "practical tuning must keep threshold > 2*window");
+  SINRCOLOR_CHECK_MSG(tuning.eta_factor >= tuning.sigma_factor + 2.0,
+                      "practical tuning must keep eta >= sigma + 2");
+  SINRCOLOR_CHECK_MSG(tuning.mu_factor >= tuning.kappa,
+                      "practical tuning must keep mu >= kappa");
+  SINRCOLOR_CHECK(tuning.q_leader > 0.0 && tuning.q_leader < 1.0);
+  SINRCOLOR_CHECK(tuning.kappa > 0.0);
+  SINRCOLOR_CHECK(tuning.phi_2rt >= 1);
+
+  const auto delta = static_cast<double>(config.max_degree);
+  const double r_t = config.phys.r_t();
+  const double r_i = config.phys.r_i();
+
+  MwParams p;
+  p.n = config.n;
+  p.max_degree = config.max_degree;
+  p.phi_ri = graph::phi_upper_bound(r_i, r_t);
+  p.phi_ri_rt = graph::phi_upper_bound(r_i + r_t, r_t);
+  p.phi_2rt_value = static_cast<double>(tuning.phi_2rt);
+  p.phi_2rt = tuning.phi_2rt;
+
+  p.lambda = 0.0;        // not meaningful for the practical profile
+  p.lambda_prime = 0.0;
+  p.sigma = tuning.sigma_factor;
+  p.gamma = tuning.kappa;
+  p.eta = tuning.eta_factor;
+  p.mu = tuning.mu_factor;
+
+  p.q_leader = tuning.q_leader;
+  p.q_small = tuning.q_leader / std::max(delta, 1.0);
+
+  const double log_n = safe_log_n(config.n);
+  p.window_zero = ceil_to_i64(tuning.kappa * log_n / p.q_leader);
+  p.window_positive = ceil_to_i64(tuning.kappa * log_n / p.q_small);
+  p.counter_threshold =
+      ceil_to_i64(tuning.sigma_factor * static_cast<double>(p.window_positive));
+  p.listen_slots =
+      ceil_to_i64(tuning.eta_factor * static_cast<double>(p.window_positive));
+  p.assign_slots = ceil_to_i64(tuning.mu_factor * log_n / p.q_leader);
+
+  // Structural relation used by Theorem 1 (Case 2): the threshold must exceed
+  // twice the largest reset window, or independence can break. σ̂ > 2γ̂
+  // guarantees it asymptotically; the max() shields against ceiling effects
+  // at very small Δ·ln n.
+  p.counter_threshold =
+      std::max(p.counter_threshold, 2 * p.window_positive + 1);
+  return p;
+}
+
+std::string MwParams::to_string() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "MwParams{n=%zu, Delta=%zu, q_l=%.4g, q_s=%.4g, listen=%lld, "
+                "threshold=%lld, window0=%lld, window+=%lld, assign=%lld, "
+                "phi2RT=%d, sigma=%.3g, gamma=%.3g, eta=%.3g, mu=%.3g}",
+                n, max_degree, q_leader, q_small,
+                static_cast<long long>(listen_slots),
+                static_cast<long long>(counter_threshold),
+                static_cast<long long>(window_zero),
+                static_cast<long long>(window_positive),
+                static_cast<long long>(assign_slots), phi_2rt, sigma, gamma,
+                eta, mu);
+  return buf;
+}
+
+}  // namespace sinrcolor::core

@@ -1,0 +1,113 @@
+// Parameters of the MW coloring algorithm, tuned for the SINR model.
+//
+// The paper's contribution is precisely this tuning (Section II):
+//
+//   R_I  = 2·R_T·(96·ρ·β·(α−1)/(α−2))^{1/(α−2)}
+//   λ    = (1−1/ρ)/e^{φ(R_I)/φ(R_I+R_T)} · (1 − φ(R_I)/(φ(R_I+R_T)²·Δ))
+//                                         · (1 − 1/(φ(R_I+R_T)²·Δ))
+//   λ'   = (1−1/ρ)/(e·φ(R_I+R_T)) · (1 − 1/(φ(R_I+R_T)·Δ))
+//                                  · (1 − 1/φ(R_I+R_T))^{φ(R_I+R_T)}
+//   σ    = 2c/λ'            γ = c·φ(R_I+R_T)/λ        (any c ≥ 5)
+//   q_ℓ  = 1/φ(R_I+R_T)     q_s = 1/(φ(R_I+R_T)·Δ)
+//   ζ_0  = 1, ζ_i = Δ (i>0)
+//   η    ≥ 2γ·φ(2R_T) + σ + 1        μ ≥ max(γ, σ)
+//
+// Two profiles are provided:
+//  * theory(): the formulas verbatim. Used to verify the paper's claimed
+//    inequalities (σ > 2γ, R_I ≥ 2R_T, ...) and to report the constants; the
+//    resulting slot counts are astronomically large by design (w.h.p. bounds).
+//  * practical(): same structure — identical probability scalings (q_s ∝ 1/Δ),
+//    identical ζ_i shape, and the structural relations the proofs rely on
+//    (σ̂ > 2γ̂, η̂ ≥ σ̂ + 2γ̂) — with small constant factors, so simulations
+//    finish. DESIGN.md documents this substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "radio/message.h"
+#include "sinr/params.h"
+
+namespace sinrcolor::core {
+
+/// Instance-level knowledge the paper assumes each node has.
+struct MwConfig {
+  std::size_t n = 0;            ///< number of nodes (or a known upper bound)
+  std::size_t max_degree = 0;   ///< Δ of the UDG (or a known upper bound)
+  sinr::SinrParams phys;        ///< physical-layer constants
+  double c = 5.0;               ///< w.h.p. exponent (theory profile)
+};
+
+/// Knobs of the practical profile (constant factors only; structure fixed).
+///
+/// The paper couples every time window to the sending probability it must
+/// out-wait: a window of W slots observes a probability-q sender w.h.p. iff
+/// q·W = Ω(ln n) (that is what γ = c·φ(R_I+R_T)/λ encodes, since
+/// q_ℓ = 1/φ(R_I+R_T)). The practical profile keeps exactly that coupling:
+///
+///   q_s           = q_ℓ / Δ                      (paper's ratio, verbatim)
+///   window_0      = ⌈κ·ln n / q_ℓ⌉               (γ·ζ_0·ln n analogue)
+///   window_i      = ⌈κ·ln n / q_s⌉ = Δ·window_0  (γ·ζ_i·ln n analogue)
+///   threshold     = ⌈σ̂·window_i⌉,  σ̂ > 2        (paper's σ > 2γ)
+///   listen phase  = ⌈η̂·window_i⌉,  η̂ ≥ σ̂ + 2   (paper's η ≥ 2γφ+σ+1 shape)
+///   assign period = ⌈μ̂·ln n / q_ℓ⌉, μ̂ ≥ κ       (paper's μ ≥ γ)
+struct PracticalTuning {
+  double q_leader = 0.2;      ///< q̂_ℓ (leaders; the paper's 1/φ(R_I+R_T))
+  double kappa = 3.5;         ///< window confidence factor κ
+  double sigma_factor = 2.5;  ///< σ̂: threshold / window ratio (> 2)
+  double eta_factor = 5.0;    ///< η̂: listen phase / window ratio (≥ σ̂ + 2)
+  double mu_factor = 3.5;     ///< μ̂: leader response factor (≥ κ)
+  std::int32_t phi_2rt = 5;   ///< effective φ(2R_T) for color-range spacing
+};
+
+/// Fully derived, ready-to-run parameter set.
+struct MwParams {
+  // --- raw constants (reported by experiments, checked by tests) ---
+  double phi_ri = 0.0;        ///< φ(R_I) bound in use
+  double phi_ri_rt = 0.0;     ///< φ(R_I + R_T) bound in use
+  double phi_2rt_value = 0.0; ///< φ(2R_T) bound in use
+  double lambda = 0.0;
+  double lambda_prime = 0.0;
+  double sigma = 0.0;
+  double gamma = 0.0;
+  double eta = 0.0;
+  double mu = 0.0;
+
+  // --- operational values used by the node state machine ---
+  double q_leader = 0.0;               ///< q_ℓ
+  double q_small = 0.0;                ///< q_s
+  radio::Slot listen_slots = 0;        ///< ⌈ηΔ ln n⌉ (Fig. 1 line 2)
+  std::int64_t counter_threshold = 0;  ///< ⌈σΔ ln n⌉ (Fig. 1 line 10)
+  std::int64_t window_zero = 0;        ///< ⌈γ·ζ_0·ln n⌉ = ⌈γ ln n⌉
+  std::int64_t window_positive = 0;    ///< ⌈γ·ζ_i·ln n⌉ = ⌈γΔ ln n⌉, i>0
+  radio::Slot assign_slots = 0;        ///< ⌈μ ln n⌉ (Fig. 2 line 13)
+  std::int32_t phi_2rt = 0;            ///< φ(2R_T) for state indexing (Fig. 3)
+
+  std::size_t n = 0;
+  std::size_t max_degree = 0;
+
+  /// ⌈γ·ζ_i·ln n⌉ for color class i.
+  std::int64_t counter_window(std::int32_t color_class) const {
+    return color_class == 0 ? window_zero : window_positive;
+  }
+
+  /// Theorem 2's palette bound (φ(2R_T)+1)·Δ, under the profile's φ(2R_T).
+  std::int64_t palette_bound() const;
+
+  /// A generous stop-gap horizon for simulations (protocol is w.h.p. far
+  /// faster); proportional to Δ·ln n with the profile's constants.
+  radio::Slot recommended_max_slots() const;
+
+  /// Exact Section-II formulas. Slot counts will be enormous; intended for
+  /// inequality verification and reporting, not simulation.
+  static MwParams theory(const MwConfig& config);
+
+  /// Scaled-down constants preserving the structural relations (see header
+  /// comment). Aborts if the tuning violates σ̂ > 2γ̂ or η̂ ≥ σ̂ + 2γ̂.
+  static MwParams practical(const MwConfig& config,
+                            const PracticalTuning& tuning = {});
+
+  std::string to_string() const;
+};
+
+}  // namespace sinrcolor::core

@@ -1,0 +1,153 @@
+#include "core/mw_protocol.h"
+#include <cmath>
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "core/verify.h"
+#include "radio/interference_model.h"
+#include "radio/wakeup.h"
+
+namespace sinrcolor::core {
+namespace {
+
+// The run's physical layer: α, β, ρ from the config's template, with the
+// noise floor solved so that R_T equals the graph's radius (the UDG must be
+// the physical reachability graph).
+sinr::SinrParams resolve_phys(const graph::UnitDiskGraph& g,
+                              const MwRunConfig& config) {
+  sinr::SinrParams phys = config.phys_template;
+  const double r_t = g.radius();
+  phys.noise =
+      phys.power / (2.0 * phys.beta * std::pow(r_t, phys.alpha));
+  phys.validate();
+  SINRCOLOR_CHECK(std::abs(phys.r_t() - r_t) <= 1e-9 * r_t);
+  return phys;
+}
+
+MwParams derive_params(const graph::UnitDiskGraph& g, const MwRunConfig& config) {
+  if (config.params_override.has_value()) return *config.params_override;
+  MwConfig mw;
+  mw.n = config.n_estimate > 0 ? config.n_estimate : g.size();
+  mw.max_degree = config.delta_estimate > 0
+                      ? config.delta_estimate
+                      : std::max<std::size_t>(g.max_degree(), 1);
+  mw.phys = resolve_phys(g, config);
+  mw.c = config.c;
+
+  return config.profile == ParamProfile::kTheory
+             ? MwParams::theory(mw)
+             : MwParams::practical(mw, config.tuning);
+}
+
+radio::WakeupSchedule make_wakeups(std::size_t n, const MwRunConfig& config,
+                                   std::uint64_t seed) {
+  switch (config.wakeup) {
+    case WakeupKind::kSimultaneous:
+      return radio::simultaneous_wakeup(n);
+    case WakeupKind::kUniform: {
+      common::Rng rng(common::derive_seed(seed, 0xbeefULL));
+      return radio::uniform_wakeup(n, config.wakeup_window, rng);
+    }
+    case WakeupKind::kStaggered:
+      return radio::staggered_wakeup(n, config.wakeup_window);
+  }
+  return radio::simultaneous_wakeup(n);
+}
+
+}  // namespace
+
+MwInstance::MwInstance(const graph::UnitDiskGraph& g, const MwRunConfig& config)
+    : graph_(g), config_(config), params_(derive_params(g, config)) {
+  std::unique_ptr<radio::InterferenceModel> model;
+  if (config_.graph_model) {
+    model = std::make_unique<radio::GraphInterferenceModel>(graph_);
+  } else {
+    const sinr::SinrParams phys = resolve_phys(graph_, config_);
+    if (config_.fading.enabled()) {
+      model = std::make_unique<radio::FadingSinrInterferenceModel>(
+          graph_, phys, config_.fading);
+    } else {
+      model = std::make_unique<radio::SinrInterferenceModel>(graph_, phys);
+    }
+  }
+  simulator_ = std::make_unique<radio::Simulator>(
+      graph_, std::move(model), make_wakeups(g.size(), config_, config_.seed),
+      config_.seed);
+
+  if (config_.failure_fraction > 0.0) {
+    SINRCOLOR_CHECK(config_.failure_fraction <= 1.0);
+    common::Rng rng(common::derive_seed(config_.seed, 0xdeadULL));
+    std::vector<graph::NodeId> victims(g.size());
+    for (graph::NodeId v = 0; v < g.size(); ++v) victims[v] = v;
+    common::shuffle(victims, rng);
+    const auto kills = static_cast<std::size_t>(
+        std::ceil(config_.failure_fraction * static_cast<double>(g.size())));
+    for (std::size_t k = 0; k < kills && k < victims.size(); ++k) {
+      simulator_->set_failure_slot(
+          victims[k], rng.uniform_int(0, std::max<radio::Slot>(
+                                             config_.failure_window, 0)));
+    }
+  }
+
+  nodes_.reserve(g.size());
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    auto node = std::make_unique<MwNode>(v, params_);
+    nodes_.push_back(node.get());
+    simulator_->set_protocol(v, std::move(node));
+  }
+
+  if (config_.check_independence) {
+    // Incremental Theorem-1 verification: a violation can only appear the
+    // slot a node finalizes its color, so checking newly decided nodes
+    // against their decided neighbors each slot is complete.
+    simulator_->add_observer(
+        [this, known = std::vector<bool>(graph_.size(), false)](
+            radio::Slot, std::span<const radio::TxRecord>) mutable {
+          for (graph::NodeId v = 0; v < graph_.size(); ++v) {
+            if (known[v] || !nodes_[v]->decided()) continue;
+            known[v] = true;
+            const graph::Color mine = nodes_[v]->final_color();
+            for (graph::NodeId u : graph_.neighbors(v)) {
+              if (known[u] && nodes_[u]->final_color() == mine) {
+                ++independence_violations_;
+              }
+            }
+          }
+        });
+  }
+}
+
+MwRunResult MwInstance::run() {
+  const radio::Slot horizon =
+      config_.max_slots > 0 ? config_.max_slots : params_.recommended_max_slots();
+
+  MwRunResult result;
+  result.params = params_;
+  result.metrics = simulator_->run(horizon);
+  result.coloring = extract_coloring(nodes_);
+  result.leaders = extract_leaders(nodes_);
+  result.independence_violations = independence_violations_;
+  result.coloring_valid = graph::is_valid_coloring(graph_, result.coloring);
+  result.palette = result.coloring.palette_size();
+  result.max_color = result.coloring.max_color();
+  return result;
+}
+
+MwRunResult run_mw_coloring(const graph::UnitDiskGraph& g,
+                            const MwRunConfig& config) {
+  MwInstance instance(g, config);
+  return instance.run();
+}
+
+std::string MwRunResult::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "colors=%zu max_color=%d leaders=%zu valid=%s indep_viol=%zu %s",
+                palette, max_color, leaders.size(),
+                coloring_valid ? "yes" : "NO", independence_violations,
+                metrics.summary().c_str());
+  return buf;
+}
+
+}  // namespace sinrcolor::core

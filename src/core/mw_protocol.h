@@ -1,0 +1,112 @@
+// Driver tying the MW node state machines to the slotted simulator.
+//
+// MwInstance owns one full protocol execution: it derives parameters for the
+// instance, installs one MwNode per graph node, selects the interference
+// model (SINR by default; the graph-based model is exposed for the X9
+// baseline comparison) and optionally verifies Theorem 1's invariant online
+// (each color class stays independent at every slot).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mw_node.h"
+#include "core/mw_params.h"
+#include "graph/coloring.h"
+#include "radio/simulator.h"
+#include "sinr/fading.h"
+
+namespace sinrcolor::core {
+
+enum class WakeupKind : std::uint8_t {
+  kSimultaneous,  ///< all nodes wake at slot 0
+  kUniform,       ///< wake uniformly in [0, wakeup_window]
+  kStaggered,     ///< node v wakes at v · wakeup_window
+};
+
+enum class ParamProfile : std::uint8_t { kPractical, kTheory };
+
+struct MwRunConfig {
+  ParamProfile profile = ParamProfile::kPractical;
+  PracticalTuning tuning;          ///< used when profile == kPractical
+  double c = 5.0;                  ///< used when profile == kTheory
+  /// Physical-layer template: α, β, ρ are taken from here; the noise floor is
+  /// re-solved so that R_T equals the graph's radius (the UDG must remain the
+  /// physical reachability graph). Defaults: α=4, β=1.5, ρ=1.5.
+  sinr::SinrParams phys_template;
+  WakeupKind wakeup = WakeupKind::kSimultaneous;
+  radio::Slot wakeup_window = 0;
+  std::uint64_t seed = 1;
+  /// 0 ⇒ params.recommended_max_slots().
+  radio::Slot max_slots = 0;
+  /// Run under the graph-based collision medium instead of SINR (baseline X9).
+  bool graph_model = false;
+  /// Stochastic channel fading (ignored under the graph medium). The paper
+  /// assumes deterministic path loss; X12 measures robustness against this.
+  sinr::FadingSpec fading;
+  /// Crash-stop failure injection: ⌈failure_fraction·n⌉ random nodes die at
+  /// a uniform random slot in [0, failure_window]. Dead nodes vanish from
+  /// the radio medium; the run ends when all SURVIVORS decide (stalled
+  /// survivors — e.g. requesters orphaned by a dead leader — are reported in
+  /// metrics.stalled_nodes). 0 disables.
+  double failure_fraction = 0.0;
+  radio::Slot failure_window = 0;
+  /// Knowledge the nodes run with (the paper assumes Δ and n are known).
+  /// 0 ⇒ use the true values; otherwise the protocol derives its parameters
+  /// from these ESTIMATES — X11 measures the cost of mis-estimation
+  /// (underestimates break guarantees, overestimates cost time).
+  std::size_t delta_estimate = 0;
+  std::size_t n_estimate = 0;
+  /// Verify Theorem 1 online (every slot, incremental): counts the number of
+  /// times a node finalized a color already held by a decided neighbor.
+  bool check_independence = true;
+  /// When set, bypasses profile/tuning derivation and runs with exactly these
+  /// parameters (ablation experiments that break individual relations on
+  /// purpose, e.g. constant q_s instead of q_ℓ/Δ).
+  std::optional<MwParams> params_override;
+};
+
+struct MwRunResult {
+  MwParams params;
+  graph::Coloring coloring;
+  radio::RunMetrics metrics;
+  std::vector<graph::NodeId> leaders;
+  /// Theorem-1 online violations observed (0 expected).
+  std::size_t independence_violations = 0;
+  /// Whether the final coloring is a complete valid (1,·)-coloring.
+  bool coloring_valid = false;
+  std::size_t palette = 0;           ///< distinct colors used
+  graph::Color max_color = graph::kUncolored;
+
+  std::string summary() const;
+};
+
+class MwInstance {
+ public:
+  MwInstance(const graph::UnitDiskGraph& g, const MwRunConfig& config);
+
+  const MwParams& params() const { return params_; }
+  radio::Simulator& simulator() { return *simulator_; }
+  const std::vector<MwNode*>& nodes() const { return nodes_; }
+  const graph::UnitDiskGraph& graph() const { return graph_; }
+
+  /// Executes the protocol and extracts the result. Call once.
+  MwRunResult run();
+
+ private:
+  const graph::UnitDiskGraph& graph_;
+  MwRunConfig config_;
+  MwParams params_;
+  std::unique_ptr<radio::Simulator> simulator_;
+  std::vector<MwNode*> nodes_;  // owned by the simulator
+  std::size_t independence_violations_ = 0;
+};
+
+/// Convenience wrapper: build an MwInstance and run it.
+MwRunResult run_mw_coloring(const graph::UnitDiskGraph& g,
+                            const MwRunConfig& config = {});
+
+}  // namespace sinrcolor::core

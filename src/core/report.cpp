@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include "common/json.h"
+
+namespace sinrcolor::core {
+namespace {
+
+void write_params(common::JsonWriter& json, const MwParams& p) {
+  json.begin_object();
+  json.field("n", static_cast<std::uint64_t>(p.n));
+  json.field("max_degree", static_cast<std::uint64_t>(p.max_degree));
+  json.field("q_leader", p.q_leader);
+  json.field("q_small", p.q_small);
+  json.field("listen_slots", static_cast<std::int64_t>(p.listen_slots));
+  json.field("counter_threshold", p.counter_threshold);
+  json.field("window_zero", p.window_zero);
+  json.field("window_positive", p.window_positive);
+  json.field("assign_slots", static_cast<std::int64_t>(p.assign_slots));
+  json.field("phi_2rt", static_cast<std::int64_t>(p.phi_2rt));
+  json.field("sigma", p.sigma);
+  json.field("gamma", p.gamma);
+  json.field("eta", p.eta);
+  json.field("mu", p.mu);
+  json.field("palette_bound", p.palette_bound());
+  json.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const MwParams& params) {
+  common::JsonWriter json;
+  write_params(json, params);
+  return json.str();
+}
+
+std::string to_json(const MwRunResult& result, bool include_per_node) {
+  common::JsonWriter json;
+  json.begin_object();
+
+  json.key("params");
+  write_params(json, result.params);
+
+  json.key("metrics");
+  json.begin_object();
+  json.field("slots_executed",
+             static_cast<std::int64_t>(result.metrics.slots_executed));
+  json.field("all_decided", result.metrics.all_decided);
+  json.field("total_transmissions", result.metrics.total_transmissions);
+  json.field("total_deliveries", result.metrics.total_deliveries);
+  json.field("max_concurrent_tx",
+             static_cast<std::uint64_t>(result.metrics.max_concurrent_tx));
+  json.field("failed_nodes",
+             static_cast<std::uint64_t>(result.metrics.failed_nodes));
+  json.field("stalled_nodes",
+             static_cast<std::uint64_t>(result.metrics.stalled_nodes));
+  json.field("max_decision_latency",
+             static_cast<std::int64_t>(result.metrics.max_decision_latency()));
+  json.field("mean_decision_latency", result.metrics.mean_decision_latency());
+  json.end_object();
+
+  json.field("palette", static_cast<std::uint64_t>(result.palette));
+  json.field("max_color", static_cast<std::int64_t>(result.max_color));
+  json.field("coloring_valid", result.coloring_valid);
+  json.field("independence_violations",
+             static_cast<std::uint64_t>(result.independence_violations));
+  json.field("leader_count", static_cast<std::uint64_t>(result.leaders.size()));
+
+  if (include_per_node) {
+    json.key("colors");
+    json.begin_array();
+    for (graph::Color c : result.coloring.color) {
+      json.value(static_cast<std::int64_t>(c));
+    }
+    json.end_array();
+
+    json.key("leaders");
+    json.begin_array();
+    for (graph::NodeId v : result.leaders) {
+      json.value(static_cast<std::uint64_t>(v));
+    }
+    json.end_array();
+
+    json.key("decision_slots");
+    json.begin_array();
+    for (radio::Slot s : result.metrics.decision_slot) {
+      json.value(static_cast<std::int64_t>(s));
+    }
+    json.end_array();
+  }
+
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace sinrcolor::core

@@ -1,0 +1,18 @@
+// JSON serialization of protocol results for downstream tooling
+// (plotting, dashboards, regression tracking).
+#pragma once
+
+#include <string>
+
+#include "core/mw_protocol.h"
+
+namespace sinrcolor::core {
+
+/// Full run report: parameters, metrics, per-node colors and leaders.
+/// Set `include_per_node` to false for compact summaries of large runs.
+std::string to_json(const MwRunResult& result, bool include_per_node = true);
+
+/// Parameter set alone (both profiles serialize identically).
+std::string to_json(const MwParams& params);
+
+}  // namespace sinrcolor::core

@@ -1,0 +1,50 @@
+// Per-slot state-population timeline of a protocol run.
+//
+// Records how many nodes are in each MW state (asleep, listening, competing,
+// requesting, leader, colored) at sampled slots, which makes the algorithm's
+// phase structure visible: the listening wave, the leader-election burst,
+// the request/assign pipeline, and the per-class competition cascades.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mw_protocol.h"
+
+namespace sinrcolor::core {
+
+class StateTimeline {
+ public:
+  static constexpr std::size_t kStates = 6;
+
+  /// Sample row: node count per MwStateKind (by enum value) at `slot`.
+  struct Sample {
+    radio::Slot slot = 0;
+    std::array<std::uint32_t, kStates> count{};
+  };
+
+  explicit StateTimeline(radio::Slot interval) : interval_(interval) {}
+
+  /// Attach to an instance BEFORE run(); samples every `interval` slots.
+  void attach(MwInstance& instance);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  radio::Slot interval() const { return interval_; }
+
+  /// First sampled slot where `fraction` of the nodes had decided
+  /// (leader or colored), or -1 if never reached.
+  radio::Slot decided_fraction_slot(double fraction) const;
+
+  /// A stacked ASCII chart: one row per state, one column per (compressed)
+  /// sample, glyph density proportional to the state's population share.
+  std::string render_ascii(std::size_t max_columns = 72) const;
+
+ private:
+  radio::Slot interval_;
+  std::size_t node_count_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace sinrcolor::core

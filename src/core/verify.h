@@ -1,0 +1,30 @@
+// Extraction and verification of protocol outcomes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mw_node.h"
+#include "graph/coloring.h"
+#include "graph/unit_disk_graph.h"
+
+namespace sinrcolor::core {
+
+/// Final colors of all nodes (kUncolored for undecided ones).
+graph::Coloring extract_coloring(const std::vector<MwNode*>& nodes);
+
+/// Ids of nodes that ended as leaders (state C_0).
+std::vector<graph::NodeId> extract_leaders(const std::vector<MwNode*>& nodes);
+
+/// Theorem-1 snapshot check: for every color class (leaders and each C_i),
+/// no two decided members are UDG-adjacent. Returns the violation count.
+std::size_t snapshot_independence_violations(const graph::UnitDiskGraph& g,
+                                             const std::vector<MwNode*>& nodes);
+
+/// Clustering sanity: every non-leader decided node was granted a cluster
+/// color by an actual leader within range (its recorded leader is a leader
+/// node and a UDG neighbor). Returns the number of offending nodes.
+std::size_t clustering_violations(const graph::UnitDiskGraph& g,
+                                  const std::vector<MwNode*>& nodes);
+
+}  // namespace sinrcolor::core

@@ -1,0 +1,44 @@
+#include "geometry/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sinrcolor::geometry {
+
+GridIndex::GridIndex(double side, double cell) : cell_(cell) {
+  SINRCOLOR_CHECK(side > 0.0);
+  SINRCOLOR_CHECK(cell > 0.0);
+  cells_per_side_ =
+      std::max<long>(1, static_cast<long>(std::ceil(side / cell)));
+  buckets_.resize(static_cast<std::size_t>(cells_per_side_ * cells_per_side_));
+}
+
+GridIndex::GridIndex(const std::vector<Point>& points, double side, double cell)
+    : GridIndex(side, cell) {
+  for (std::size_t i = 0; i < points.size(); ++i) insert(i, points[i]);
+}
+
+void GridIndex::insert(std::size_t id, const Point& p) {
+  buckets_[bucket_of(cell_coord(p.x), cell_coord(p.y))].push_back({id, p});
+  ++count_;
+}
+
+long GridIndex::cell_coord(double v) const {
+  const long c = static_cast<long>(std::floor(v / cell_));
+  return std::clamp<long>(c, 0, cells_per_side_ - 1);
+}
+
+std::size_t GridIndex::bucket_of(long cx, long cy) const {
+  SINRCOLOR_DCHECK(cx >= 0 && cx < cells_per_side_);
+  SINRCOLOR_DCHECK(cy >= 0 && cy < cells_per_side_);
+  return static_cast<std::size_t>(cy * cells_per_side_ + cx);
+}
+
+std::vector<std::size_t> GridIndex::within(const Point& q, double r) const {
+  std::vector<std::size_t> result;
+  for_each_within(q, r, [&](std::size_t id, const Point&) { result.push_back(id); });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace sinrcolor::geometry

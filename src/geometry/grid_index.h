@@ -1,0 +1,68 @@
+// Uniform-grid spatial index over [0, side]^2.
+//
+// Radius queries ("all points within r of q") dominate both unit-disk-graph
+// construction and per-slot SINR bookkeeping; bucketing by cells of width
+// `cell` makes them O(points in the (⌈r/cell⌉)-ring of cells).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "geometry/point.h"
+
+namespace sinrcolor::geometry {
+
+class GridIndex {
+ public:
+  /// `side` is the extent of the square world; `cell` the bucket width
+  /// (typically the dominant query radius).
+  GridIndex(double side, double cell);
+
+  /// Builds an index over an existing point set (ids are indices into it).
+  GridIndex(const std::vector<Point>& points, double side, double cell);
+
+  void insert(std::size_t id, const Point& p);
+  std::size_t size() const { return count_; }
+
+  /// Invokes fn(id, point) for every indexed point with δ(q, point) ≤ r.
+  /// (A point exactly at distance r is included, matching δ(u,v) ≤ R_T.)
+  template <typename Fn>
+  void for_each_within(const Point& q, double r, Fn&& fn) const {
+    SINRCOLOR_DCHECK(r >= 0.0);
+    const double r_sq = r * r;
+    const long lo_cx = cell_coord(q.x - r);
+    const long hi_cx = cell_coord(q.x + r);
+    const long lo_cy = cell_coord(q.y - r);
+    const long hi_cy = cell_coord(q.y + r);
+    for (long cy = lo_cy; cy <= hi_cy; ++cy) {
+      for (long cx = lo_cx; cx <= hi_cx; ++cx) {
+        const auto& bucket = buckets_[bucket_of(cx, cy)];
+        for (const auto& entry : bucket) {
+          if (distance_sq(q, entry.point) <= r_sq) {
+            fn(entry.id, entry.point);
+          }
+        }
+      }
+    }
+  }
+
+  /// All ids within r of q (convenience wrapper; allocation per call).
+  std::vector<std::size_t> within(const Point& q, double r) const;
+
+ private:
+  struct Entry {
+    std::size_t id;
+    Point point;
+  };
+
+  long cell_coord(double v) const;
+  std::size_t bucket_of(long cx, long cy) const;
+
+  double cell_;
+  long cells_per_side_;
+  std::size_t count_ = 0;
+  std::vector<std::vector<Entry>> buckets_;
+};
+
+}  // namespace sinrcolor::geometry

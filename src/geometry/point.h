@@ -1,0 +1,37 @@
+// 2-D Euclidean points. The paper places nodes arbitrarily in the plane and
+// all model quantities (R_T, R_I, SINR path loss) are functions of pairwise
+// Euclidean distance.
+#pragma once
+
+#include <cmath>
+
+namespace sinrcolor::geometry {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+};
+
+/// Squared Euclidean distance; prefer this in hot paths (no sqrt).
+constexpr double distance_sq(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(distance_sq(a, b));
+}
+
+/// δ(u,v) ≤ r, computed without sqrt.
+constexpr bool within(const Point& a, const Point& b, double r) {
+  return distance_sq(a, b) <= r * r;
+}
+
+}  // namespace sinrcolor::geometry

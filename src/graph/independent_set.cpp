@@ -1,0 +1,50 @@
+#include "graph/independent_set.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sinrcolor::graph {
+
+std::optional<std::pair<NodeId, NodeId>> find_independence_violation(
+    const UnitDiskGraph& g, const std::vector<NodeId>& nodes) {
+  std::vector<bool> member(g.size(), false);
+  for (NodeId v : nodes) {
+    SINRCOLOR_CHECK(v < g.size());
+    member[v] = true;
+  }
+  for (NodeId v : nodes) {
+    for (NodeId u : g.neighbors(v)) {
+      if (u < v && member[u]) return std::make_pair(u, v);
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_independent_set(const UnitDiskGraph& g, const std::vector<NodeId>& nodes) {
+  return !find_independence_violation(g, nodes).has_value();
+}
+
+bool is_maximal_independent_set(const UnitDiskGraph& g,
+                                const std::vector<NodeId>& nodes) {
+  if (!is_independent_set(g, nodes)) return false;
+  std::vector<bool> covered(g.size(), false);
+  for (NodeId v : nodes) {
+    covered[v] = true;
+    for (NodeId u : g.neighbors(v)) covered[u] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(), [](bool b) { return b; });
+}
+
+std::vector<NodeId> greedy_mis(const UnitDiskGraph& g) {
+  std::vector<NodeId> mis;
+  std::vector<bool> blocked(g.size(), false);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (blocked[v]) continue;
+    mis.push_back(v);
+    for (NodeId u : g.neighbors(v)) blocked[u] = true;
+  }
+  return mis;
+}
+
+}  // namespace sinrcolor::graph

@@ -1,0 +1,29 @@
+// Independent sets in the geometric sense of the paper: I ⊆ V is independent
+// iff every two members are more than R_T apart (i.e. non-adjacent in the UDG).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/unit_disk_graph.h"
+
+namespace sinrcolor::graph {
+
+/// Returns a violating pair (u, v) with δ(u,v) ≤ R_T if `nodes` is not
+/// independent, std::nullopt otherwise.
+std::optional<std::pair<NodeId, NodeId>> find_independence_violation(
+    const UnitDiskGraph& g, const std::vector<NodeId>& nodes);
+
+bool is_independent_set(const UnitDiskGraph& g, const std::vector<NodeId>& nodes);
+
+/// True iff `nodes` is a *maximal* independent set: independent, and every
+/// node of g is in the set or adjacent to a member.
+bool is_maximal_independent_set(const UnitDiskGraph& g,
+                                const std::vector<NodeId>& nodes);
+
+/// Greedy (first-fit by id) maximal independent set; the centralized oracle
+/// used by tests and baselines.
+std::vector<NodeId> greedy_mis(const UnitDiskGraph& g);
+
+}  // namespace sinrcolor::graph

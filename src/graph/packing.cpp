@@ -1,0 +1,58 @@
+#include "graph/packing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sinrcolor::graph {
+
+double phi_upper_bound(double R, double R_T) {
+  SINRCOLOR_CHECK(R >= 0.0);
+  SINRCOLOR_CHECK(R_T > 0.0);
+  const double ratio = 2.0 * R / R_T + 1.0;
+  return ratio * ratio;
+}
+
+std::size_t empirical_phi(const UnitDiskGraph& g, double R) {
+  SINRCOLOR_CHECK(R > 0.0);
+  std::size_t best = 0;
+  // For each center node, greedily pack nodes inside the disc of radius R:
+  // scan candidates by id, keep those > R_T away from all kept nodes.
+  for (NodeId center = 0; center < g.size(); ++center) {
+    std::vector<NodeId> in_disc = g.nodes_within(center, R);
+    in_disc.push_back(center);
+    std::vector<NodeId> packed;
+    for (NodeId v : in_disc) {
+      const bool clear = std::none_of(
+          packed.begin(), packed.end(), [&](NodeId u) {
+            return g.distance(u, v) <= g.radius();
+          });
+      if (clear) packed.push_back(v);
+    }
+    best = std::max(best, packed.size());
+  }
+  return best;
+}
+
+std::size_t empirical_phi_2rt(const UnitDiskGraph& g) {
+  return empirical_phi(g, 2.0 * g.radius());
+}
+
+std::size_t greedy_clique_lower_bound(const UnitDiskGraph& g) {
+  std::size_t best = g.size() > 0 ? 1 : 0;
+  std::vector<NodeId> clique;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    clique.clear();
+    clique.push_back(v);
+    for (NodeId u : g.neighbors(v)) {
+      const bool compatible = std::all_of(
+          clique.begin(), clique.end(),
+          [&](NodeId w) { return w == v || g.adjacent(u, w); });
+      if (compatible) clique.push_back(u);
+    }
+    best = std::max(best, clique.size());
+  }
+  return best;
+}
+
+}  // namespace sinrcolor::graph

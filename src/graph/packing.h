@@ -1,0 +1,37 @@
+// Packing numbers φ(R).
+//
+// φ(R) is the size of the largest independent set (pairwise distance > R_T)
+// inside any disc of radius R around any node (paper, Section II). The paper
+// only needs an upper bound; footnote 5 gives φ(R) ≤ (2R/R_T + 1)².
+// We provide both the analytic bound (used by the theory parameter profile)
+// and empirical measurements on a concrete deployment (used to justify the
+// much smaller practical constants).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/unit_disk_graph.h"
+
+namespace sinrcolor::graph {
+
+/// Footnote-5 analytic upper bound: φ(R) ≤ (2R/R_T + 1)².
+double phi_upper_bound(double R, double R_T);
+
+/// Empirical packing number of a concrete deployment: the largest greedy
+/// independent set found inside the disc of radius R around any node.
+/// This is a lower bound on the true φ(R) of the instance, and for greedy
+/// (maximal) packings is within the usual 1/5 factor of optimum on discs.
+std::size_t empirical_phi(const UnitDiskGraph& g, double R);
+
+/// Convenience: empirical φ(2·R_T), the constant bounding how many mutually
+/// independent leaders can surround any node (used to size the color ranges).
+std::size_t empirical_phi_2rt(const UnitDiskGraph& g);
+
+/// Greedy clique lower bound on the chromatic number: for every node, grow a
+/// clique inside its closed neighborhood (id order); the largest found clique
+/// size lower-bounds χ(G), anchoring "the palette is O(Δ) and Ω(clique)" in
+/// experiment X1. (In a UDG the true clique number is ≥ (Δ+1)/6-ish, so this
+/// is a meaningful yardstick, not a formality.)
+std::size_t greedy_clique_lower_bound(const UnitDiskGraph& g);
+
+}  // namespace sinrcolor::graph

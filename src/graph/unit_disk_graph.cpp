@@ -1,0 +1,57 @@
+#include "graph/unit_disk_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sinrcolor::graph {
+
+UnitDiskGraph::UnitDiskGraph(geometry::Deployment deployment, double radius)
+    : deployment_(std::move(deployment)),
+      radius_(radius),
+      index_(deployment_.points, std::max(deployment_.side, radius), radius) {
+  SINRCOLOR_CHECK(radius > 0.0);
+  const std::size_t n = deployment_.points.size();
+  std::vector<std::vector<NodeId>> lists(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    index_.for_each_within(
+        deployment_.points[v], radius_, [&](std::size_t u, const geometry::Point&) {
+          if (u != v) lists[v].push_back(static_cast<NodeId>(u));
+        });
+    std::sort(lists[v].begin(), lists[v].end());
+  }
+
+  offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + lists[v].size();
+  adjacency_.reserve(offsets_[n]);
+  for (auto& list : lists) {
+    adjacency_.insert(adjacency_.end(), list.begin(), list.end());
+    max_degree_ = std::max(max_degree_, list.size());
+  }
+}
+
+double UnitDiskGraph::average_degree() const {
+  if (size() == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) / static_cast<double>(size());
+}
+
+bool UnitDiskGraph::adjacent(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<NodeId> UnitDiskGraph::nodes_within(NodeId v, double r) const {
+  std::vector<NodeId> result;
+  index_.for_each_within(position(v), r, [&](std::size_t u, const geometry::Point&) {
+    if (u != v) result.push_back(static_cast<NodeId>(u));
+  });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+UnitDiskGraph UnitDiskGraph::scaled(double factor) const {
+  SINRCOLOR_CHECK(factor > 0.0);
+  return UnitDiskGraph(deployment_, radius_ * factor);
+}
+
+}  // namespace sinrcolor::graph

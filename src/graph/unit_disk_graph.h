@@ -1,0 +1,66 @@
+// Unit disk graph G = (V, E, R_T) as defined in Section II of the paper:
+// nodes are points in the plane; (u,v) ∈ E iff δ(u,v) ≤ R_T.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/deployment.h"
+#include "geometry/grid_index.h"
+#include "geometry/point.h"
+
+namespace sinrcolor::graph {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class UnitDiskGraph {
+ public:
+  /// Builds the UDG of `deployment` with transmission range `radius`.
+  UnitDiskGraph(geometry::Deployment deployment, double radius);
+
+  std::size_t size() const { return deployment_.points.size(); }
+  double radius() const { return radius_; }
+  double side() const { return deployment_.side; }
+  const geometry::Deployment& deployment() const { return deployment_; }
+  const geometry::Point& position(NodeId v) const { return deployment_.points[v]; }
+
+  /// Neighbors of v (nodes within R_T, excluding v), sorted by id.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  std::size_t degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+  std::size_t max_degree() const { return max_degree_; }
+  double average_degree() const;
+  std::size_t edge_count() const { return adjacency_.size() / 2; }
+
+  bool adjacent(NodeId u, NodeId v) const;
+
+  double distance(NodeId u, NodeId v) const {
+    return geometry::distance(position(u), position(v));
+  }
+
+  /// All node ids within Euclidean distance r of v's position (v excluded).
+  std::vector<NodeId> nodes_within(NodeId v, double r) const;
+
+  /// Spatial index over the node positions (cell width = radius), exposed for
+  /// interference models that need their own radius queries.
+  const geometry::GridIndex& index() const { return index_; }
+
+  /// Same node set, different radius: the graph G^d of Section V
+  /// (d-fold power scaling). `factor` > 0, usually the MAC constant d+1.
+  UnitDiskGraph scaled(double factor) const;
+
+ private:
+  geometry::Deployment deployment_;
+  double radius_;
+  geometry::GridIndex index_;
+  std::vector<std::size_t> offsets_;   // CSR offsets, size n+1
+  std::vector<NodeId> adjacency_;      // CSR neighbor lists, sorted per node
+  std::size_t max_degree_ = 0;
+};
+
+}  // namespace sinrcolor::graph

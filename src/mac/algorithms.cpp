@@ -1,0 +1,210 @@
+#include "mac/algorithms.h"
+
+#include <algorithm>
+
+namespace sinrcolor::mac {
+
+std::optional<Payload> FloodingBfs::round_message(std::uint32_t round) {
+  if (distance_ == round) return Payload{distance_};
+  return std::nullopt;
+}
+
+void FloodingBfs::end_round(std::uint32_t round, const Inbox& inbox) {
+  if (distance_ == kUndiscovered && !inbox.messages.empty()) {
+    distance_ = round + 1;
+    parent_ = inbox.messages.front().first;  // sorted ⇒ smallest sender id
+  }
+  if (distance_ != kUndiscovered && round >= distance_) {
+    done_ = true;  // token forwarded; output final
+  }
+}
+
+std::optional<Payload> LubyMis::round_message(std::uint32_t round) {
+  if (decided_ && !joined_this_phase_) return std::nullopt;
+  if (round % 2 == 0) {
+    if (decided_) return std::nullopt;
+    // Proposal round: fresh draw per phase; id breaks ties deterministically.
+    draw_ = static_cast<std::int64_t>(rng_() >> 1);
+    return Payload{draw_, static_cast<std::int64_t>(id_)};
+  }
+  // Announcement round: only fresh MIS members speak.
+  if (joined_this_phase_) return Payload{1};
+  return std::nullopt;
+}
+
+void LubyMis::end_round(std::uint32_t round, const Inbox& inbox) {
+  if (round % 2 == 0) {
+    if (decided_) return;
+    // A node is a local minimum iff (draw, id) beats every undecided
+    // neighbor's pair. Decided neighbors stay silent, so every message in the
+    // inbox came from an undecided competitor.
+    bool minimum = true;
+    for (const auto& [sender, payload] : inbox.messages) {
+      if (payload.size() != 2) continue;  // not a proposal
+      const std::int64_t their_draw = payload[0];
+      const std::int64_t their_id = payload[1];
+      if (their_draw < draw_ ||
+          (their_draw == draw_ && their_id < static_cast<std::int64_t>(id_))) {
+        minimum = false;
+        break;
+      }
+    }
+    if (minimum) {
+      decided_ = true;
+      in_mis_ = true;
+      joined_this_phase_ = true;  // still must announce next round
+    }
+  } else {
+    joined_this_phase_ = false;
+    if (decided_) return;
+    // Covered by a new MIS member?
+    for (const auto& [sender, payload] : inbox.messages) {
+      if (payload.size() == 1 && payload[0] == 1) {
+        decided_ = true;
+        in_mis_ = false;
+        break;
+      }
+    }
+  }
+}
+
+RandomizedMatching::RandomizedMatching(graph::NodeId id,
+                                       const graph::UnitDiskGraph& g,
+                                       std::uint64_t seed)
+    : id_(id), rng_(common::derive_seed(seed, id)) {
+  const auto nbrs = g.neighbors(id);
+  candidates_.assign(nbrs.begin(), nbrs.end());
+}
+
+std::vector<std::pair<graph::NodeId, Payload>>
+RandomizedMatching::round_messages(std::uint32_t round) {
+  std::vector<std::pair<graph::NodeId, Payload>> out;
+  switch (round % 3) {
+    case 0: {  // propose
+      proposal_target_ = graph::kInvalidNode;
+      if (!matched() && !candidates_.empty()) {
+        proposer_ = rng_.bernoulli(0.5);
+        if (proposer_) {
+          proposal_target_ =
+              *std::min_element(candidates_.begin(), candidates_.end());
+          out.emplace_back(proposal_target_, Payload{kPropose});
+        }
+      }
+      break;
+    }
+    case 1: {  // accept (decided in end_round of step 0 via partner_)
+      if (announce_pending_ && !proposer_) {
+        out.emplace_back(partner_, Payload{kAccept});
+      }
+      break;
+    }
+    case 2: {  // announce
+      if (announce_pending_) {
+        for (graph::NodeId u : candidates_) {
+          if (u != partner_) out.emplace_back(u, Payload{kMatched});
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void RandomizedMatching::end_round(std::uint32_t round, const Inbox& inbox) {
+  switch (round % 3) {
+    case 0: {  // responders pick their smallest proposer
+      if (matched() || proposer_) break;
+      graph::NodeId best = graph::kInvalidNode;
+      for (const auto& [sender, payload] : inbox.messages) {
+        if (!payload.empty() && payload[0] == kPropose) {
+          best = std::min(best == graph::kInvalidNode ? sender : best, sender);
+        }
+      }
+      if (best != graph::kInvalidNode) {
+        partner_ = best;          // accepted; ACCEPT goes out next round
+        announce_pending_ = true;
+      }
+      break;
+    }
+    case 1: {  // proposers learn acceptance
+      if (proposer_ && !matched()) {
+        for (const auto& [sender, payload] : inbox.messages) {
+          if (sender == proposal_target_ && !payload.empty() &&
+              payload[0] == kAccept) {
+            partner_ = sender;
+            announce_pending_ = true;
+          }
+        }
+      }
+      break;
+    }
+    case 2: {  // prune freshly matched neighbors; settle termination
+      for (const auto& [sender, payload] : inbox.messages) {
+        if (!payload.empty() && payload[0] == kMatched) {
+          std::erase(candidates_, sender);
+        }
+      }
+      if (announce_pending_) {
+        announce_pending_ = false;
+        terminated_ = true;  // matched and announced
+      } else if (!matched() && candidates_.empty()) {
+        terminated_ = true;  // no unmatched neighbor left: maximality holds
+      }
+      break;
+    }
+  }
+}
+
+TreeAggregation::TreeAggregation(graph::NodeId id, graph::NodeId parent,
+                                 std::int64_t value)
+    : id_(id), parent_(parent), total_(value) {
+  if (parent_ == graph::kInvalidNode) parent_ = id_;  // isolated ⇒ own root
+}
+
+std::vector<std::pair<graph::NodeId, Payload>> TreeAggregation::round_messages(
+    std::uint32_t round) {
+  std::vector<std::pair<graph::NodeId, Payload>> out;
+  if (round == 0) {
+    if (parent_ != id_) out.emplace_back(parent_, Payload{kChild});
+    return out;
+  }
+  if (!sent_ && pending_children_ == 0 && parent_ != id_) {
+    out.emplace_back(parent_, Payload{kAggregate, total_});
+    sent_ = true;
+    terminated_ = true;
+  }
+  return out;
+}
+
+void TreeAggregation::end_round(std::uint32_t round, const Inbox& inbox) {
+  if (round == 0) {
+    for (const auto& [sender, payload] : inbox.messages) {
+      if (!payload.empty() && payload[0] == kChild) ++pending_children_;
+    }
+    if (parent_ == id_ && pending_children_ == 0) terminated_ = true;
+    return;
+  }
+  for (const auto& [sender, payload] : inbox.messages) {
+    if (payload.size() == 2 && payload[0] == kAggregate) {
+      total_ += payload[1];
+      --pending_children_;
+      ++reported_children_;
+    }
+  }
+  if (parent_ == id_ && pending_children_ == 0) terminated_ = true;
+}
+
+std::optional<Payload> MaxIdGossip::round_message(std::uint32_t round) {
+  if (round >= rounds_) return std::nullopt;
+  return Payload{best_};
+}
+
+void MaxIdGossip::end_round(std::uint32_t round, const Inbox& inbox) {
+  (void)round;
+  for (const auto& [sender, payload] : inbox.messages) {
+    if (!payload.empty()) best_ = std::max(best_, payload[0]);
+  }
+  ++completed_;
+}
+
+}  // namespace sinrcolor::mac

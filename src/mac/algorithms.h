@@ -1,0 +1,147 @@
+// Uniform message-passing algorithms used by the Corollary-1 experiments.
+//
+// Each is deterministic given its construction inputs (LubyMis draws from a
+// seeded per-node stream), so the reference point-to-point execution and the
+// SINR TDMA simulation must produce bit-identical outputs when the MAC is
+// interference-free — that equality is the experiment.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "common/rng.h"
+#include "mac/message_passing.h"
+
+namespace sinrcolor::mac {
+
+/// Flooding from a source; computes hop distance and a canonical BFS parent
+/// (smallest-id neighbor one hop closer). τ = eccentricity of the source.
+class FloodingBfs final : public UniformAlgorithm {
+ public:
+  static constexpr std::uint32_t kUndiscovered =
+      std::numeric_limits<std::uint32_t>::max();
+
+  FloodingBfs(graph::NodeId id, graph::NodeId source)
+      : id_(id), distance_(id == source ? 0 : kUndiscovered) {}
+
+  std::optional<Payload> round_message(std::uint32_t round) override;
+  void end_round(std::uint32_t round, const Inbox& inbox) override;
+  bool terminated() const override { return done_; }
+
+  std::uint32_t distance() const { return distance_; }
+  graph::NodeId parent() const { return parent_; }
+
+ private:
+  graph::NodeId id_;
+  std::uint32_t distance_;
+  graph::NodeId parent_ = graph::kInvalidNode;
+  bool done_ = false;
+};
+
+/// Luby's randomized MIS. Each phase is two rounds: (1) undecided nodes
+/// broadcast a fresh random value (ties broken by id); a local minimum joins
+/// the MIS; (2) new MIS members announce, neighbors become covered.
+class LubyMis final : public UniformAlgorithm {
+ public:
+  LubyMis(graph::NodeId id, std::uint64_t seed)
+      : id_(id), rng_(common::derive_seed(seed, id)) {}
+
+  std::optional<Payload> round_message(std::uint32_t round) override;
+  void end_round(std::uint32_t round, const Inbox& inbox) override;
+  bool terminated() const override { return decided_; }
+
+  bool in_mis() const { return in_mis_; }
+
+ private:
+  graph::NodeId id_;
+  common::Rng rng_;
+  bool decided_ = false;
+  bool in_mis_ = false;
+  bool joined_this_phase_ = false;
+  std::int64_t draw_ = 0;
+};
+
+/// Randomized maximal matching in the *general* model: per phase (3 rounds),
+/// unmatched nodes coin-flip into proposers/responders; proposers PROPOSE to
+/// their smallest unmatched neighbor, responders ACCEPT their smallest
+/// proposer, and fresh couples announce MATCHED to their other neighbors.
+/// Message targets are individual neighbors — exactly what the general model
+/// (and Corollary 1's second bullet) is about.
+class RandomizedMatching final : public GeneralAlgorithm {
+ public:
+  RandomizedMatching(graph::NodeId id, const graph::UnitDiskGraph& g,
+                     std::uint64_t seed);
+
+  std::vector<std::pair<graph::NodeId, Payload>> round_messages(
+      std::uint32_t round) override;
+  void end_round(std::uint32_t round, const Inbox& inbox) override;
+  bool terminated() const override { return terminated_; }
+
+  bool matched() const { return partner_ != graph::kInvalidNode; }
+  graph::NodeId partner() const { return partner_; }
+
+ private:
+  enum Kind : std::int64_t { kPropose = 0, kAccept = 1, kMatched = 2 };
+
+  graph::NodeId id_;
+  common::Rng rng_;
+  std::vector<graph::NodeId> candidates_;  ///< neighbors believed unmatched
+  graph::NodeId partner_ = graph::kInvalidNode;
+  graph::NodeId proposal_target_ = graph::kInvalidNode;
+  bool proposer_ = false;
+  bool announce_pending_ = false;  ///< matched this phase, MATCHED not yet sent
+  bool terminated_ = false;
+};
+
+/// Convergecast ("data aggregation" toward a sink) in the general model:
+/// round 0 registers children with parents; afterwards each node sends its
+/// subtree aggregate to its parent — a single, individually addressed
+/// message — as soon as all children have reported. τ ≈ tree depth + 1.
+class TreeAggregation final : public GeneralAlgorithm {
+ public:
+  /// `parent` from e.g. graph::bfs_parents (parent == id ⇒ root;
+  /// parent == kInvalidNode ⇒ isolated, terminates with its own value).
+  TreeAggregation(graph::NodeId id, graph::NodeId parent, std::int64_t value);
+
+  std::vector<std::pair<graph::NodeId, Payload>> round_messages(
+      std::uint32_t round) override;
+  void end_round(std::uint32_t round, const Inbox& inbox) override;
+  bool terminated() const override { return terminated_; }
+
+  /// Subtree aggregate (the global sum at the root once terminated).
+  std::int64_t total() const { return total_; }
+  std::size_t children() const { return pending_children_ + reported_children_; }
+
+ private:
+  enum Kind : std::int64_t { kChild = 0, kAggregate = 1 };
+
+  graph::NodeId id_;
+  graph::NodeId parent_;
+  std::int64_t total_;
+  std::size_t pending_children_ = 0;
+  std::size_t reported_children_ = 0;
+  bool sent_ = false;
+  bool terminated_ = false;
+};
+
+/// Gossip of the maximum node id for a fixed number of rounds (τ given by the
+/// caller, usually the hop diameter); converges iff τ ≥ diameter.
+class MaxIdGossip final : public UniformAlgorithm {
+ public:
+  MaxIdGossip(graph::NodeId id, std::uint32_t rounds)
+      : best_(id), rounds_(rounds) {}
+
+  std::optional<Payload> round_message(std::uint32_t round) override;
+  void end_round(std::uint32_t round, const Inbox& inbox) override;
+  bool terminated() const override { return completed_ >= rounds_; }
+
+  graph::NodeId max_id() const { return static_cast<graph::NodeId>(best_); }
+
+ private:
+  std::int64_t best_;
+  std::uint32_t rounds_;
+  std::uint32_t completed_ = 0;
+};
+
+}  // namespace sinrcolor::mac

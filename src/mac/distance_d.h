@@ -1,0 +1,34 @@
+// Distance-d colorings via G^d (paper, Section V).
+//
+// A distance-1 coloring of G^d = (V, E', d·R_T) is a (d, ·)-coloring of G.
+// Nodes obtain G^d by raising transmit power to d^α·P during initialization
+// (handled here by deriving the protocol's physical layer from the scaled
+// radius), then switch back to P for the MAC phase.
+#pragma once
+
+#include "core/mw_protocol.h"
+#include "graph/coloring.h"
+#include "graph/unit_disk_graph.h"
+
+namespace sinrcolor::mac {
+
+struct DistanceDColoringResult {
+  graph::Coloring coloring;       ///< valid at distance d w.r.t. the base graph
+  core::MwRunResult run;          ///< protocol execution details (on G^d)
+  double d = 1.0;
+  std::size_t scaled_max_degree = 0;  ///< Δ of G^d
+};
+
+/// Runs the MW protocol on G^d and returns the resulting (d, ·)-coloring of
+/// the base graph. `d ≥ 1`. The run config's profile/tuning/seed apply to the
+/// execution on G^d.
+DistanceDColoringResult compute_distance_d_coloring(
+    const graph::UnitDiskGraph& g, double d, const core::MwRunConfig& config = {});
+
+/// The frame-slot pairing of Theorem 3: checks that `coloring` is a valid
+/// (d+1, ·)-coloring of g for the MAC constant d = phys.mac_distance_d().
+bool satisfies_theorem3_distance(const graph::UnitDiskGraph& g,
+                                 const graph::Coloring& coloring,
+                                 double alpha, double beta);
+
+}  // namespace sinrcolor::mac

@@ -1,0 +1,148 @@
+#include "mac/message_passing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace sinrcolor::mac {
+
+const Payload* Inbox::from(graph::NodeId sender) const {
+  const auto it = std::find_if(
+      messages.begin(), messages.end(),
+      [sender](const auto& entry) { return entry.first == sender; });
+  return it == messages.end() ? nullptr : &it->second;
+}
+
+std::string ExecutionResult::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "rounds=%u terminated=%s slots=%lld sent=%llu delivered=%llu "
+                "missed=%llu bundle=%zu",
+                rounds, all_terminated ? "all" : "NOT ALL",
+                static_cast<long long>(slots_used),
+                static_cast<unsigned long long>(messages_sent),
+                static_cast<unsigned long long>(deliveries),
+                static_cast<unsigned long long>(missed_deliveries),
+                max_bundle_entries);
+  return buf;
+}
+
+std::vector<std::unique_ptr<UniformAlgorithm>> instantiate(
+    const graph::UnitDiskGraph& g, const AlgorithmFactory& factory) {
+  std::vector<std::unique_ptr<UniformAlgorithm>> nodes;
+  nodes.reserve(g.size());
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    auto node = factory(v, g);
+    SINRCOLOR_CHECK(node != nullptr);
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+ExecutionResult run_reference(
+    const graph::UnitDiskGraph& g,
+    std::vector<std::unique_ptr<UniformAlgorithm>>& nodes,
+    std::uint32_t max_rounds) {
+  SINRCOLOR_CHECK(nodes.size() == g.size());
+  ExecutionResult result;
+  std::vector<std::optional<Payload>> outbox(g.size());
+  std::vector<Inbox> inbox(g.size());
+
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    bool done = true;
+    for (const auto& node : nodes) {
+      if (!node->terminated()) {
+        done = false;
+        break;
+      }
+    }
+    if (done) {
+      result.all_terminated = true;
+      break;
+    }
+    result.rounds = round + 1;
+
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      outbox[v] = nodes[v]->round_message(round);
+      if (outbox[v].has_value()) ++result.messages_sent;
+      inbox[v].messages.clear();
+    }
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      if (!outbox[v].has_value()) continue;
+      for (graph::NodeId u : g.neighbors(v)) {
+        inbox[u].messages.emplace_back(v, *outbox[v]);
+        ++result.deliveries;
+      }
+    }
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      // Neighbor lists are scanned in ascending sender order, so inboxes are
+      // already sorted by sender id.
+      nodes[v]->end_round(round, inbox[v]);
+    }
+  }
+
+  if (!result.all_terminated) {
+    result.all_terminated =
+        std::all_of(nodes.begin(), nodes.end(),
+                    [](const auto& node) { return node->terminated(); });
+  }
+  return result;
+}
+
+std::vector<std::unique_ptr<GeneralAlgorithm>> instantiate_general(
+    const graph::UnitDiskGraph& g, const GeneralFactory& factory) {
+  std::vector<std::unique_ptr<GeneralAlgorithm>> nodes;
+  nodes.reserve(g.size());
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    auto node = factory(v, g);
+    SINRCOLOR_CHECK(node != nullptr);
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+ExecutionResult run_reference_general(
+    const graph::UnitDiskGraph& g,
+    std::vector<std::unique_ptr<GeneralAlgorithm>>& nodes,
+    std::uint32_t max_rounds) {
+  SINRCOLOR_CHECK(nodes.size() == g.size());
+  ExecutionResult result;
+  std::vector<Inbox> inbox(g.size());
+
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    const bool done =
+        std::all_of(nodes.begin(), nodes.end(),
+                    [](const auto& node) { return node->terminated(); });
+    if (done) {
+      result.all_terminated = true;
+      break;
+    }
+    result.rounds = round + 1;
+
+    for (auto& box : inbox) box.messages.clear();
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      for (auto& [target, payload] : nodes[v]->round_messages(round)) {
+        SINRCOLOR_CHECK_MSG(g.adjacent(v, target),
+                            "general-model message to a non-neighbor");
+        ++result.messages_sent;
+        ++result.deliveries;
+        inbox[target].messages.emplace_back(v, std::move(payload));
+      }
+    }
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      std::sort(inbox[v].messages.begin(), inbox[v].messages.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      nodes[v]->end_round(round, inbox[v]);
+    }
+  }
+
+  if (!result.all_terminated) {
+    result.all_terminated =
+        std::all_of(nodes.begin(), nodes.end(),
+                    [](const auto& node) { return node->terminated(); });
+  }
+  return result;
+}
+
+}  // namespace sinrcolor::mac

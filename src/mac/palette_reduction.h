@@ -1,0 +1,42 @@
+// Palette reduction (paper, end of Section V).
+//
+// Starting from a (d, O(Δ))-coloring whose TDMA schedule is interference-free
+// (Theorem 3), color classes take turns — one frame slot per class — and each
+// node picks the smallest color in {0..Δ} not announced by any neighbor yet,
+// then announces it in its own slot. The result is a (1, Δ+1)-coloring of G,
+// obtained in frame_length extra slots.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coloring.h"
+#include "graph/unit_disk_graph.h"
+#include "mac/tdma.h"
+#include "radio/message.h"
+#include "sinr/params.h"
+
+namespace sinrcolor::mac {
+
+struct PaletteReductionResult {
+  graph::Coloring reduced;       ///< the (1, Δ+1)-coloring
+  radio::Slot slots_used = 0;    ///< frame_length slots
+  std::uint64_t missed_deliveries = 0;  ///< 0 with a Theorem-3 schedule
+  std::size_t palette = 0;       ///< distinct colors after reduction
+  bool valid = false;            ///< (1,·)-validity against g
+};
+
+/// Runs the reduction over the SINR physical layer with the given schedule
+/// (one slot per old color class). `max_degree_bound` is the Δ every node
+/// knows; the new palette is {0, …, max_degree_bound}.
+PaletteReductionResult reduce_palette_sinr(const graph::UnitDiskGraph& g,
+                                           const sinr::SinrParams& phys,
+                                           const TdmaSchedule& schedule,
+                                           std::size_t max_degree_bound);
+
+/// Centralized oracle with perfect deliveries (tests / expected output):
+/// classes in slot order, each node takes the smallest free color in {0..Δ}.
+graph::Coloring reduce_palette_reference(const graph::UnitDiskGraph& g,
+                                         const TdmaSchedule& schedule,
+                                         std::size_t max_degree_bound);
+
+}  // namespace sinrcolor::mac

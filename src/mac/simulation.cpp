@@ -1,0 +1,209 @@
+#include "mac/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "sinr/medium_field.h"
+#include "sinr/reception.h"
+
+namespace sinrcolor::mac {
+
+ExecutionResult run_over_sinr_tdma(
+    const graph::UnitDiskGraph& g, const sinr::SinrParams& phys,
+    const TdmaSchedule& schedule,
+    std::vector<std::unique_ptr<UniformAlgorithm>>& nodes,
+    std::uint32_t max_rounds) {
+  SINRCOLOR_CHECK(nodes.size() == g.size());
+  SINRCOLOR_CHECK(schedule.size() == g.size());
+  phys.validate();
+  SINRCOLOR_CHECK_MSG(std::abs(g.radius() - phys.r_t()) <= 1e-9 * phys.r_t(),
+                      "UDG radius must equal the physical-layer R_T");
+
+  // Precompute slot membership once; it is static across rounds.
+  std::vector<std::vector<graph::NodeId>> by_slot(schedule.frame_length());
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    by_slot[schedule.slot_of(v)].push_back(v);
+  }
+
+  ExecutionResult result;
+  std::vector<std::optional<Payload>> outbox(g.size());
+  std::vector<Inbox> inbox(g.size());
+
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    bool done = std::all_of(nodes.begin(), nodes.end(), [](const auto& node) {
+      return node->terminated();
+    });
+    if (done) {
+      result.all_terminated = true;
+      break;
+    }
+    result.rounds = round + 1;
+
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      outbox[v] = nodes[v]->round_message(round);
+      if (outbox[v].has_value()) ++result.messages_sent;
+      inbox[v].messages.clear();
+    }
+
+    // One TDMA frame: frame slot t carries the messages of color class t.
+    for (std::uint32_t t = 0; t < schedule.frame_length(); ++t) {
+      result.slots_used += 1;
+      std::vector<sinr::Transmitter> txs;
+      std::vector<graph::NodeId> senders;
+      for (graph::NodeId v : by_slot[t]) {
+        if (outbox[v].has_value()) {
+          senders.push_back(v);
+          txs.push_back({g.position(v)});
+        }
+      }
+      if (senders.empty()) continue;
+      for (std::size_t i = 0; i < senders.size(); ++i) {
+        const graph::NodeId v = senders[i];
+        for (graph::NodeId u : g.neighbors(v)) {
+          const bool u_silent =
+              schedule.slot_of(u) != t || !outbox[u].has_value();
+          if (u_silent && sinr::decodes(phys, g.position(u), txs, i)) {
+            inbox[u].messages.emplace_back(v, *outbox[v]);
+            ++result.deliveries;
+          } else {
+            ++result.missed_deliveries;
+          }
+        }
+      }
+    }
+
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      // Frame slots deliver in arbitrary sender order; sort per round so the
+      // inbox matches the reference executor bit-for-bit.
+      std::sort(inbox[v].messages.begin(), inbox[v].messages.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      nodes[v]->end_round(round, inbox[v]);
+    }
+  }
+
+  if (!result.all_terminated) {
+    result.all_terminated =
+        std::all_of(nodes.begin(), nodes.end(),
+                    [](const auto& node) { return node->terminated(); });
+  }
+  return result;
+}
+
+ExecutionResult run_general_over_sinr_tdma(
+    const graph::UnitDiskGraph& g, const sinr::SinrParams& phys,
+    const TdmaSchedule& schedule,
+    std::vector<std::unique_ptr<GeneralAlgorithm>>& nodes,
+    std::uint32_t max_rounds, GeneralStrategy strategy) {
+  SINRCOLOR_CHECK(nodes.size() == g.size());
+  SINRCOLOR_CHECK(schedule.size() == g.size());
+  phys.validate();
+  SINRCOLOR_CHECK_MSG(std::abs(g.radius() - phys.r_t()) <= 1e-9 * phys.r_t(),
+                      "UDG radius must equal the physical-layer R_T");
+
+  std::vector<std::vector<graph::NodeId>> by_slot(schedule.frame_length());
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    by_slot[schedule.slot_of(v)].push_back(v);
+  }
+
+  ExecutionResult result;
+  std::vector<std::vector<std::pair<graph::NodeId, Payload>>> outbox(g.size());
+  std::vector<Inbox> inbox(g.size());
+
+  // Runs one TDMA frame in which `sending(v)` says whether v transmits and
+  // `deliver(sender, neighbor)` handles a successful physical delivery.
+  auto run_frame = [&](auto&& sending, auto&& deliver) {
+    for (std::uint32_t t = 0; t < schedule.frame_length(); ++t) {
+      result.slots_used += 1;
+      std::vector<sinr::Transmitter> txs;
+      std::vector<graph::NodeId> senders;
+      for (graph::NodeId v : by_slot[t]) {
+        if (sending(v)) {
+          senders.push_back(v);
+          txs.push_back({g.position(v)});
+        }
+      }
+      if (senders.empty()) continue;
+      for (std::size_t i = 0; i < senders.size(); ++i) {
+        const graph::NodeId v = senders[i];
+        for (graph::NodeId u : g.neighbors(v)) {
+          const bool u_silent = schedule.slot_of(u) != t || !sending(u);
+          if (u_silent && sinr::decodes(phys, g.position(u), txs, i)) {
+            deliver(v, u);
+          } else {
+            ++result.missed_deliveries;
+          }
+        }
+      }
+    }
+  };
+
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    const bool done =
+        std::all_of(nodes.begin(), nodes.end(),
+                    [](const auto& node) { return node->terminated(); });
+    if (done) {
+      result.all_terminated = true;
+      break;
+    }
+    result.rounds = round + 1;
+
+    std::size_t max_out = 0;
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      outbox[v] = nodes[v]->round_messages(round);
+      for (const auto& [target, payload] : outbox[v]) {
+        (void)payload;
+        SINRCOLOR_CHECK_MSG(g.adjacent(v, target),
+                            "general-model message to a non-neighbor");
+      }
+      result.messages_sent += outbox[v].size();
+      max_out = std::max(max_out, outbox[v].size());
+      inbox[v].messages.clear();
+    }
+
+    if (strategy == GeneralStrategy::kBundled) {
+      result.max_bundle_entries = std::max(result.max_bundle_entries, max_out);
+      // One frame; the broadcast carries the whole bundle, the receiver
+      // extracts entries addressed to it (possibly none — an empty extract
+      // still counts as a physical delivery, not a miss).
+      run_frame([&](graph::NodeId v) { return !outbox[v].empty(); },
+                [&](graph::NodeId v, graph::NodeId u) {
+                  for (const auto& [target, payload] : outbox[v]) {
+                    if (target == u) {
+                      inbox[u].messages.emplace_back(v, payload);
+                      ++result.deliveries;
+                    }
+                  }
+                });
+    } else {
+      // One frame per outgoing-message index: sub-frame k carries every
+      // node's k-th message. Receivers keep only entries addressed to them.
+      for (std::size_t k = 0; k < max_out; ++k) {
+        run_frame(
+            [&](graph::NodeId v) { return outbox[v].size() > k; },
+            [&](graph::NodeId v, graph::NodeId u) {
+              const auto& [target, payload] = outbox[v][k];
+              if (target == u) {
+                inbox[u].messages.emplace_back(v, payload);
+                ++result.deliveries;
+              }
+            });
+      }
+    }
+
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      std::sort(inbox[v].messages.begin(), inbox[v].messages.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      nodes[v]->end_round(round, inbox[v]);
+    }
+  }
+
+  if (!result.all_terminated) {
+    result.all_terminated =
+        std::all_of(nodes.begin(), nodes.end(),
+                    [](const auto& node) { return node->terminated(); });
+  }
+  return result;
+}
+
+}  // namespace sinrcolor::mac

@@ -1,0 +1,169 @@
+#include "mac/tdma.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/check.h"
+#include "sinr/medium_field.h"
+#include "sinr/reception.h"
+
+namespace sinrcolor::mac {
+
+TdmaSchedule TdmaSchedule::from_coloring(const graph::Coloring& coloring) {
+  SINRCOLOR_CHECK_MSG(coloring.complete(),
+                      "TDMA schedules need a complete coloring");
+  // Compact the palette: colors in increasing order map to slots 0,1,2,...
+  std::map<graph::Color, std::uint32_t> compact;
+  for (graph::Color c : coloring.color) compact.emplace(c, 0);
+  std::uint32_t next = 0;
+  for (auto& [color, slot] : compact) slot = next++;
+
+  TdmaSchedule schedule;
+  schedule.frame_length_ = next;
+  schedule.slot_.reserve(coloring.size());
+  for (graph::Color c : coloring.color) schedule.slot_.push_back(compact.at(c));
+  return schedule;
+}
+
+std::vector<graph::NodeId> TdmaSchedule::nodes_in_slot(std::uint32_t t) const {
+  std::vector<graph::NodeId> nodes;
+  for (graph::NodeId v = 0; v < slot_.size(); ++v) {
+    if (slot_[v] == t) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+std::string TdmaAudit::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "frame=%u pairs=%llu/%llu (%.2f%%) full_senders=%zu/%zu",
+                frame_length, static_cast<unsigned long long>(pairs_delivered),
+                static_cast<unsigned long long>(pairs_total),
+                delivery_rate() * 100.0, senders_fully_heard, senders_total);
+  return buf;
+}
+
+TdmaAudit audit_tdma_sinr(const graph::UnitDiskGraph& g,
+                          const sinr::SinrParams& phys,
+                          const TdmaSchedule& schedule) {
+  SINRCOLOR_CHECK(schedule.size() == g.size());
+  phys.validate();
+  SINRCOLOR_CHECK_MSG(std::abs(g.radius() - phys.r_t()) <= 1e-9 * phys.r_t(),
+                      "UDG radius must equal the physical-layer R_T");
+
+  TdmaAudit audit;
+  audit.frame_length = schedule.frame_length();
+  audit.senders_total = g.size();
+  for (std::uint32_t t = 0; t < schedule.frame_length(); ++t) {
+    const auto senders = schedule.nodes_in_slot(t);
+    std::vector<sinr::Transmitter> txs;
+    txs.reserve(senders.size());
+    for (graph::NodeId v : senders) txs.push_back({g.position(v)});
+
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      bool fully_heard = true;
+      for (graph::NodeId u : g.neighbors(senders[i])) {
+        ++audit.pairs_total;
+        // A neighbor scheduled in the same slot is itself transmitting and
+        // cannot receive (half-duplex) — counted as a failed pair.
+        const bool u_silent = schedule.slot_of(u) != t;
+        if (u_silent && sinr::decodes(phys, g.position(u), txs, i)) {
+          ++audit.pairs_delivered;
+        } else {
+          fully_heard = false;
+        }
+      }
+      if (fully_heard) ++audit.senders_fully_heard;
+    }
+  }
+  return audit;
+}
+
+TdmaAudit audit_tdma_graph_model(const graph::UnitDiskGraph& g,
+                                 const TdmaSchedule& schedule) {
+  SINRCOLOR_CHECK(schedule.size() == g.size());
+  TdmaAudit audit;
+  audit.frame_length = schedule.frame_length();
+  audit.senders_total = g.size();
+  // covering[u] = transmitting neighbors of u this slot: u decodes iff one.
+  std::vector<std::uint32_t> covering(g.size());
+  for (std::uint32_t t = 0; t < schedule.frame_length(); ++t) {
+    const auto senders = schedule.nodes_in_slot(t);
+    std::fill(covering.begin(), covering.end(), 0u);
+    for (graph::NodeId v : senders) {
+      for (graph::NodeId u : g.neighbors(v)) ++covering[u];
+    }
+    for (graph::NodeId v : senders) {
+      bool fully_heard = true;
+      for (graph::NodeId u : g.neighbors(v)) {
+        ++audit.pairs_total;
+        const bool u_silent = schedule.slot_of(u) != t;
+        if (u_silent && covering[u] == 1) {
+          ++audit.pairs_delivered;
+        } else {
+          fully_heard = false;
+        }
+      }
+      if (fully_heard) ++audit.senders_fully_heard;
+    }
+  }
+  return audit;
+}
+
+TdmaAudit audit_tdma_sinr_fading(const graph::UnitDiskGraph& g,
+                                 const sinr::SinrParams& phys,
+                                 const sinr::FadingSpec& fading,
+                                 const TdmaSchedule& schedule,
+                                 std::uint32_t frames) {
+  SINRCOLOR_CHECK(schedule.size() == g.size());
+  SINRCOLOR_CHECK(frames >= 1);
+  phys.validate();
+  SINRCOLOR_CHECK_MSG(std::abs(g.radius() - phys.r_t()) <= 1e-9 * phys.r_t(),
+                      "UDG radius must equal the physical-layer R_T");
+
+  TdmaAudit audit;
+  audit.frame_length = schedule.frame_length();
+  audit.senders_total = g.size();
+  std::vector<bool> sender_always_heard(g.size(), true);
+
+  std::int64_t slot = 0;
+  for (std::uint32_t frame = 0; frame < frames; ++frame) {
+    for (std::uint32_t t = 0; t < schedule.frame_length(); ++t, ++slot) {
+      const auto senders = schedule.nodes_in_slot(t);
+      for (std::size_t i = 0; i < senders.size(); ++i) {
+        const graph::NodeId v = senders[i];
+        for (graph::NodeId u : g.neighbors(v)) {
+          ++audit.pairs_total;
+          if (schedule.slot_of(u) == t) {
+            sender_always_heard[v] = false;  // half-duplex neighbor
+            continue;
+          }
+          // Faded SINR of the v→u link against all same-slot transmitters.
+          double signal = 0.0;
+          double interference = 0.0;
+          for (std::size_t j = 0; j < senders.size(); ++j) {
+            const graph::NodeId w = senders[j];
+            const double d_sq =
+                geometry::distance_sq(g.position(u), g.position(w));
+            SINRCOLOR_CHECK(d_sq > 0.0);
+            const double power =
+                phys.power * sinr::fade_factor(fading, slot, u, w) /
+                sinr::pow_alpha_from_sq(d_sq, phys.alpha);
+            (j == i ? signal : interference) += power;
+          }
+          if (signal >= phys.beta * (phys.noise + interference)) {
+            ++audit.pairs_delivered;
+          } else {
+            sender_always_heard[v] = false;
+          }
+        }
+      }
+    }
+  }
+  for (bool heard : sender_always_heard) audit.senders_fully_heard += heard;
+  return audit;
+}
+
+}  // namespace sinrcolor::mac

@@ -1,0 +1,125 @@
+#include "radio/interference_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "sinr/medium_field.h"
+
+namespace sinrcolor::radio {
+
+SinrInterferenceModel::SinrInterferenceModel(const graph::UnitDiskGraph& graph,
+                                             sinr::SinrParams params)
+    : graph_(graph), params_(params) {
+  params_.validate();
+  const double mismatch = std::abs(graph_.radius() - params_.r_t());
+  SINRCOLOR_CHECK_MSG(mismatch <= 1e-9 * params_.r_t(),
+                      "UDG radius must equal the physical-layer R_T");
+}
+
+void SinrInterferenceModel::resolve(
+    Slot /*slot*/, const std::vector<TxRecord>& transmissions,
+    const std::vector<bool>& listening,
+    std::vector<std::optional<Message>>& deliveries) const {
+  SINRCOLOR_DCHECK(listening.size() == graph_.size());
+  SINRCOLOR_DCHECK(deliveries.size() == graph_.size());
+  if (transmissions.empty()) return;
+
+  std::vector<sinr::Transmitter> txs;
+  txs.reserve(transmissions.size());
+  for (const auto& t : transmissions) {
+    txs.push_back({graph_.position(t.sender)});
+  }
+
+  // Only neighbors of some transmitter can pass the δ ≤ R_T gate, so it
+  // suffices to examine each transmitter's UDG neighborhood.
+  for (std::size_t i = 0; i < transmissions.size(); ++i) {
+    const auto sender = transmissions[i].sender;
+    for (graph::NodeId u : graph_.neighbors(sender)) {
+      if (!listening[u]) continue;
+      if (sinr::sinr_at(params_, graph_.position(u), txs, i) >= params_.beta) {
+        SINRCOLOR_CHECK_MSG(!deliveries[u].has_value(),
+                            "beta >= 1 forbids two decodable senders");
+        deliveries[u] = transmissions[i].message;
+      }
+    }
+  }
+}
+
+void GraphInterferenceModel::resolve(
+    Slot /*slot*/, const std::vector<TxRecord>& transmissions,
+    const std::vector<bool>& listening,
+    std::vector<std::optional<Message>>& deliveries) const {
+  SINRCOLOR_DCHECK(listening.size() == graph_.size());
+  SINRCOLOR_DCHECK(deliveries.size() == graph_.size());
+  if (transmissions.empty()) return;
+
+  // covering[u] = number of transmitting neighbors; a listener decodes iff
+  // exactly one neighbor transmits.
+  std::vector<std::uint8_t> covering(graph_.size(), 0);
+  std::vector<std::size_t> candidate_tx(graph_.size(), 0);
+  for (std::size_t i = 0; i < transmissions.size(); ++i) {
+    for (graph::NodeId u : graph_.neighbors(transmissions[i].sender)) {
+      if (covering[u] < 2) ++covering[u];
+      candidate_tx[u] = i;
+    }
+  }
+  for (const auto& t : transmissions) {
+    for (graph::NodeId u : graph_.neighbors(t.sender)) {
+      if (listening[u] && covering[u] == 1 && !deliveries[u].has_value()) {
+        deliveries[u] = transmissions[candidate_tx[u]].message;
+      }
+    }
+  }
+}
+
+FadingSinrInterferenceModel::FadingSinrInterferenceModel(
+    const graph::UnitDiskGraph& graph, sinr::SinrParams params,
+    sinr::FadingSpec fading)
+    : graph_(graph), params_(params), fading_(fading) {
+  params_.validate();
+  const double mismatch = std::abs(graph_.radius() - params_.r_t());
+  SINRCOLOR_CHECK_MSG(mismatch <= 1e-9 * params_.r_t(),
+                      "UDG radius must equal the physical-layer R_T");
+}
+
+void FadingSinrInterferenceModel::resolve(
+    Slot slot, const std::vector<TxRecord>& transmissions,
+    const std::vector<bool>& listening,
+    std::vector<std::optional<Message>>& deliveries) const {
+  SINRCOLOR_DCHECK(listening.size() == graph_.size());
+  SINRCOLOR_DCHECK(deliveries.size() == graph_.size());
+  if (transmissions.empty()) return;
+
+  const double r_t = graph_.radius();
+  for (std::size_t i = 0; i < transmissions.size(); ++i) {
+    const auto sender = transmissions[i].sender;
+    for (graph::NodeId u : graph_.neighbors(sender)) {
+      if (!listening[u]) continue;
+      // Faded received powers of every transmitter at listener u.
+      double signal = 0.0;
+      double interference = 0.0;
+      for (std::size_t j = 0; j < transmissions.size(); ++j) {
+        const auto other = transmissions[j].sender;
+        const double d_sq =
+            geometry::distance_sq(graph_.position(u), graph_.position(other));
+        SINRCOLOR_CHECK_MSG(d_sq > 0.0, "transmitter coincides with listener");
+        const double gain = sinr::fade_factor(fading_, slot, u, other);
+        const double power =
+            params_.power * gain / sinr::pow_alpha_from_sq(d_sq, params_.alpha);
+        if (j == i) {
+          signal = power;
+        } else {
+          interference += power;
+        }
+      }
+      (void)r_t;  // the δ ≤ R_T gate is implied by iterating UDG neighbors
+      if (signal >= params_.beta * (params_.noise + interference)) {
+        SINRCOLOR_CHECK_MSG(!deliveries[u].has_value(),
+                            "beta >= 1 forbids two decodable senders");
+        deliveries[u] = transmissions[i].message;
+      }
+    }
+  }
+}
+
+}  // namespace sinrcolor::radio

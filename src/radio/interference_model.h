@@ -1,0 +1,92 @@
+// Pluggable per-slot reception semantics.
+//
+// SinrInterferenceModel — the paper's physical model: listener u decodes
+//   sender v iff δ(u,v) ≤ R_T and P/δ^α ≥ β(N + Σ_{w≠v} P/δ(u,w)^α).
+// GraphInterferenceModel — the simplified graph-based model the original MW
+//   algorithm assumes: u decodes iff exactly one UDG-neighbor transmits.
+//
+// Both honour half-duplex: only nodes in `listening` can receive.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/unit_disk_graph.h"
+#include "radio/message.h"
+#include "sinr/fading.h"
+#include "sinr/params.h"
+
+namespace sinrcolor::radio {
+
+class InterferenceModel {
+ public:
+  virtual ~InterferenceModel() = default;
+
+  /// Fills deliveries[v] with the message node v decodes in `slot` (nullopt
+  /// if none). `listening[v]` is false for asleep or transmitting nodes.
+  /// `deliveries` must be pre-sized to the node count and cleared by caller.
+  /// `slot` keys any stochastic channel state (fading draws).
+  virtual void resolve(Slot slot, const std::vector<TxRecord>& transmissions,
+                       const std::vector<bool>& listening,
+                       std::vector<std::optional<Message>>& deliveries) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+class SinrInterferenceModel final : public InterferenceModel {
+ public:
+  /// `graph.radius()` must equal `params.r_t()` (the UDG is the reachability
+  /// graph of the physical layer); checked at construction.
+  SinrInterferenceModel(const graph::UnitDiskGraph& graph, sinr::SinrParams params);
+
+  void resolve(Slot slot, const std::vector<TxRecord>& transmissions,
+               const std::vector<bool>& listening,
+               std::vector<std::optional<Message>>& deliveries) const override;
+
+  const char* name() const override { return "sinr"; }
+  const sinr::SinrParams& params() const { return params_; }
+
+ private:
+  const graph::UnitDiskGraph& graph_;
+  sinr::SinrParams params_;
+};
+
+/// SINR medium with stochastic per-link fading (sinr/fading.h): the received
+/// power of every (transmitter, listener) pair — signal AND interference —
+/// is scaled by its fade factor. With β ≥ 1 at most one sender remains
+/// decodable per listener (see fading.h), so the invariant check stays.
+class FadingSinrInterferenceModel final : public InterferenceModel {
+ public:
+  FadingSinrInterferenceModel(const graph::UnitDiskGraph& graph,
+                              sinr::SinrParams params, sinr::FadingSpec fading);
+
+  void resolve(Slot slot, const std::vector<TxRecord>& transmissions,
+               const std::vector<bool>& listening,
+               std::vector<std::optional<Message>>& deliveries) const override;
+
+  const char* name() const override { return "sinr+fading"; }
+  const sinr::FadingSpec& fading() const { return fading_; }
+
+ private:
+  const graph::UnitDiskGraph& graph_;
+  sinr::SinrParams params_;
+  sinr::FadingSpec fading_;
+};
+
+class GraphInterferenceModel final : public InterferenceModel {
+ public:
+  explicit GraphInterferenceModel(const graph::UnitDiskGraph& graph)
+      : graph_(graph) {}
+
+  void resolve(Slot slot, const std::vector<TxRecord>& transmissions,
+               const std::vector<bool>& listening,
+               std::vector<std::optional<Message>>& deliveries) const override;
+
+  const char* name() const override { return "graph"; }
+
+ private:
+  const graph::UnitDiskGraph& graph_;
+};
+
+}  // namespace sinrcolor::radio

@@ -1,0 +1,64 @@
+// Wire messages of the MW protocol (paper, Figures 1–3).
+//
+// One POD covers the four message shapes:
+//   M_A^i(v, c_v)      — competition message of a node in state A_i
+//   M_C^i(v)           — "I hold color i" beacon (leaders idle-beacon with i=0)
+//   M_C^0(v, w, tc)    — leader v assigns cluster color tc to node w
+//   M_R(v, L(v))       — color request from v to its leader
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/unit_disk_graph.h"
+
+namespace sinrcolor::radio {
+
+using Slot = std::int64_t;
+
+enum class MessageKind : std::uint8_t {
+  kCompete,      ///< M_A^i(v, c_v)
+  kColorBeacon,  ///< M_C^i(v)
+  kColorAssign,  ///< M_C^0(v, w, tc)
+  kRequest,      ///< M_R(v, L(v))
+};
+
+struct Message {
+  MessageKind kind = MessageKind::kCompete;
+  graph::NodeId sender = graph::kInvalidNode;
+  /// Addressee for kColorAssign (the requesting node) and kRequest (the
+  /// leader); unused otherwise.
+  graph::NodeId target = graph::kInvalidNode;
+  /// Color class i for kCompete / kColorBeacon (leaders use 0).
+  std::int32_t color_class = 0;
+  /// Competition counter c_v for kCompete.
+  std::int64_t counter = 0;
+  /// Cluster color tc for kColorAssign.
+  std::int32_t tc = 0;
+
+  std::string to_string() const;
+};
+
+/// A transmission accepted by the medium in some slot.
+struct TxRecord {
+  graph::NodeId sender = graph::kInvalidNode;
+  Message message;
+};
+
+inline std::string Message::to_string() const {
+  switch (kind) {
+    case MessageKind::kCompete:
+      return "M_A^" + std::to_string(color_class) + "(" + std::to_string(sender) +
+             ", c=" + std::to_string(counter) + ")";
+    case MessageKind::kColorBeacon:
+      return "M_C^" + std::to_string(color_class) + "(" + std::to_string(sender) + ")";
+    case MessageKind::kColorAssign:
+      return "M_C^0(" + std::to_string(sender) + ", " + std::to_string(target) +
+             ", tc=" + std::to_string(tc) + ")";
+    case MessageKind::kRequest:
+      return "M_R(" + std::to_string(sender) + ", " + std::to_string(target) + ")";
+  }
+  return "M_?";
+}
+
+}  // namespace sinrcolor::radio

@@ -1,0 +1,42 @@
+// Per-node protocol interface driven by the slotted simulator.
+//
+// Slot lifecycle, for every awake node:
+//   1. begin_slot(slot, rng)  — advance per-slot bookkeeping (counter
+//      increments in the MW algorithm) and decide whether to transmit.
+//      Returning a message means the node transmits and cannot receive this
+//      slot (half-duplex).
+//   2. The medium resolves receptions for the listening nodes.
+//   3. on_receive(slot, msg)  — at most one decoded message is delivered.
+//   4. end_slot(slot)         — state transitions taking effect after the slot.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "radio/message.h"
+
+namespace sinrcolor::radio {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Called once, in the node's wake-up slot, before its first begin_slot.
+  virtual void on_wake(Slot slot) = 0;
+
+  /// Per-slot bookkeeping + transmission decision (nullopt = listen).
+  virtual std::optional<Message> begin_slot(Slot slot, common::Rng& rng) = 0;
+
+  /// Delivery of the (unique) message decoded this slot, if the node listened.
+  virtual void on_receive(Slot slot, const Message& message) = 0;
+
+  /// End-of-slot state transitions.
+  virtual void end_slot(Slot slot) = 0;
+
+  /// True once the node has produced its final output (e.g. decided a color).
+  /// A decided node may keep transmitting (MW color beacons) until the whole
+  /// protocol stops.
+  virtual bool decided() const = 0;
+};
+
+}  // namespace sinrcolor::radio

@@ -1,0 +1,132 @@
+#include "radio/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sinrcolor::radio {
+
+Simulator::Simulator(const graph::UnitDiskGraph& graph,
+                     std::unique_ptr<InterferenceModel> model,
+                     WakeupSchedule wakeups, std::uint64_t seed)
+    : graph_(graph), model_(std::move(model)), wakeups_(std::move(wakeups)) {
+  SINRCOLOR_CHECK(model_ != nullptr);
+  SINRCOLOR_CHECK(wakeups_.size() == graph_.size());
+  failure_slot_.assign(graph_.size(), -1);
+  protocols_.resize(graph_.size());
+  rngs_.reserve(graph_.size());
+  for (std::size_t v = 0; v < graph_.size(); ++v) {
+    rngs_.emplace_back(common::derive_seed(seed, v));
+  }
+}
+
+void Simulator::set_protocol(graph::NodeId v, std::unique_ptr<Protocol> protocol) {
+  SINRCOLOR_CHECK(v < protocols_.size());
+  SINRCOLOR_CHECK(protocol != nullptr);
+  protocols_[v] = std::move(protocol);
+}
+
+void Simulator::set_failure_slot(graph::NodeId v, Slot slot) {
+  SINRCOLOR_CHECK(v < failure_slot_.size());
+  SINRCOLOR_CHECK_MSG(!ran_, "failures must be scheduled before run()");
+  SINRCOLOR_CHECK(slot >= 0);
+  failure_slot_[v] = slot;
+}
+
+RunMetrics Simulator::run(Slot max_slots) {
+  SINRCOLOR_CHECK_MSG(!ran_, "Simulator::run may only be called once");
+  ran_ = true;
+  const std::size_t n = graph_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    SINRCOLOR_CHECK_MSG(protocols_[v] != nullptr, "node missing a protocol");
+  }
+
+  RunMetrics metrics;
+  metrics.wake_slot = wakeups_;
+  metrics.decision_slot.assign(n, -1);
+  metrics.tx_count.assign(n, 0);
+  metrics.awake_slots.assign(n, 0);
+
+  std::vector<bool> awake(n, false);
+  std::vector<bool> dead(n, false);
+  std::vector<bool> listening(n, false);
+  std::vector<TxRecord> transmissions;
+  std::vector<std::optional<Message>> deliveries(n);
+  std::size_t undecided = n;
+
+  for (Slot slot = 0; slot < max_slots && undecided > 0; ++slot) {
+    metrics.slots_executed = slot + 1;
+
+    // 1. Failures, wake-ups and transmission decisions.
+    transmissions.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!dead[v] && failure_slot_[v] == slot) {
+        dead[v] = true;
+        ++metrics.failed_nodes;
+        // A dead node can no longer decide; stop waiting for it.
+        if (metrics.decision_slot[v] < 0) --undecided;
+      }
+      if (dead[v]) {
+        listening[v] = false;
+        continue;
+      }
+      if (!awake[v]) {
+        if (wakeups_[v] == slot) {
+          awake[v] = true;
+          protocols_[v]->on_wake(slot);
+        } else {
+          listening[v] = false;
+          continue;
+        }
+      }
+      ++metrics.awake_slots[v];
+      auto tx = protocols_[v]->begin_slot(slot, rngs_[v]);
+      if (tx.has_value()) {
+        tx->sender = static_cast<graph::NodeId>(v);
+        transmissions.push_back({static_cast<graph::NodeId>(v), *tx});
+        listening[v] = false;
+        ++metrics.tx_count[v];
+      } else {
+        listening[v] = true;
+      }
+    }
+    metrics.total_transmissions += transmissions.size();
+    metrics.max_concurrent_tx =
+        std::max(metrics.max_concurrent_tx, transmissions.size());
+
+    for (const auto& observer : observers_) {
+      observer(slot, std::span<const TxRecord>(transmissions));
+    }
+
+    // 2. Reception resolution and delivery.
+    if (!transmissions.empty()) {
+      std::fill(deliveries.begin(), deliveries.end(), std::nullopt);
+      model_->resolve(slot, transmissions, listening, deliveries);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (deliveries[v].has_value()) {
+          SINRCOLOR_DCHECK(listening[v]);
+          protocols_[v]->on_receive(slot, *deliveries[v]);
+          ++metrics.total_deliveries;
+        }
+      }
+    }
+
+    // 3. End-of-slot transitions and decision tracking.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!awake[v] || dead[v]) continue;
+      protocols_[v]->end_slot(slot);
+      if (metrics.decision_slot[v] < 0 && protocols_[v]->decided()) {
+        metrics.decision_slot[v] = slot;
+        --undecided;
+      }
+    }
+  }
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!dead[v] && metrics.decision_slot[v] < 0) ++metrics.stalled_nodes;
+  }
+  metrics.all_decided = metrics.stalled_nodes == 0;
+  return metrics;
+}
+
+}  // namespace sinrcolor::radio

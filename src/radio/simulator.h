@@ -1,0 +1,72 @@
+// The slotted radio-network simulator.
+//
+// Time is divided into synchronized discrete slots (paper, Section II).
+// Each slot the simulator: wakes due nodes, collects transmission decisions,
+// resolves receptions through the interference model, delivers messages, and
+// runs end-of-slot transitions. Execution is fully deterministic given the
+// seed: node v draws from its own splitmix-derived stream.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/unit_disk_graph.h"
+#include "radio/interference_model.h"
+#include "radio/protocol.h"
+#include "radio/trace.h"
+#include "radio/wakeup.h"
+
+namespace sinrcolor::radio {
+
+class Simulator {
+ public:
+  /// Observer invoked after each slot's transmissions are fixed but before
+  /// delivery; used by interference probes and tests. `tx_probs[v]` is the
+  /// probability with which node v would have transmitted this slot (0 for
+  /// asleep/non-transmitting states), supplied by protocols that expose it.
+  using SlotObserver =
+      std::function<void(Slot, std::span<const TxRecord>)>;
+
+  Simulator(const graph::UnitDiskGraph& graph,
+            std::unique_ptr<InterferenceModel> model, WakeupSchedule wakeups,
+            std::uint64_t seed);
+
+  /// Installs node v's protocol; all nodes need one before run().
+  void set_protocol(graph::NodeId v, std::unique_ptr<Protocol> protocol);
+
+  /// Injects a crash-stop failure: from `slot` on, node v neither transmits
+  /// nor receives nor advances. A dead undecided node does not block run()'s
+  /// "all decided" termination (it is counted in RunMetrics::stalled_nodes
+  /// only if it was alive and undecided at the end — dead ones are counted
+  /// in failed_nodes). Call before run().
+  void set_failure_slot(graph::NodeId v, Slot slot);
+
+  void add_observer(SlotObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  /// Runs until every protocol reports decided() or `max_slots` elapse.
+  /// May be called once per simulator instance.
+  RunMetrics run(Slot max_slots);
+
+  const graph::UnitDiskGraph& graph() const { return graph_; }
+  const InterferenceModel& model() const { return *model_; }
+  Protocol& protocol(graph::NodeId v) { return *protocols_[v]; }
+  const WakeupSchedule& wakeups() const { return wakeups_; }
+
+ private:
+  const graph::UnitDiskGraph& graph_;
+  std::unique_ptr<InterferenceModel> model_;
+  WakeupSchedule wakeups_;
+  std::vector<Slot> failure_slot_;  ///< -1 = never fails
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  std::vector<common::Rng> rngs_;
+  std::vector<SlotObserver> observers_;
+  bool ran_ = false;
+};
+
+}  // namespace sinrcolor::radio

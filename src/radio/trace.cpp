@@ -1,0 +1,68 @@
+#include "radio/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sinrcolor::radio {
+
+Slot RunMetrics::max_decision_latency() const {
+  Slot worst = 0;
+  for (std::size_t v = 0; v < decision_slot.size(); ++v) {
+    if (decision_slot[v] < 0) return -1;  // undecided node
+    worst = std::max(worst, decision_slot[v] - wake_slot[v]);
+  }
+  return worst;
+}
+
+double RunMetrics::mean_decision_latency() const {
+  if (decision_slot.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t decided = 0;
+  for (std::size_t v = 0; v < decision_slot.size(); ++v) {
+    if (decision_slot[v] >= 0) {
+      total += static_cast<double>(decision_slot[v] - wake_slot[v]);
+      ++decided;
+    }
+  }
+  return decided == 0 ? 0.0 : total / static_cast<double>(decided);
+}
+
+double EnergyModel::node_energy(const RunMetrics& metrics, std::size_t v) const {
+  const double tx = static_cast<double>(metrics.tx_count[v]);
+  const double awake = static_cast<double>(metrics.awake_slots[v]);
+  // awake_slots counts every participating slot; transmissions upgrade the
+  // slot's cost from listen_cost to tx_cost.
+  return awake * listen_cost + tx * (tx_cost - listen_cost);
+}
+
+double EnergyModel::total_energy(const RunMetrics& metrics) const {
+  double total = 0.0;
+  for (std::size_t v = 0; v < metrics.tx_count.size(); ++v) {
+    total += node_energy(metrics, v);
+  }
+  return total;
+}
+
+double EnergyModel::max_node_energy(const RunMetrics& metrics) const {
+  double best = 0.0;
+  for (std::size_t v = 0; v < metrics.tx_count.size(); ++v) {
+    best = std::max(best, node_energy(metrics, v));
+  }
+  return best;
+}
+
+std::string RunMetrics::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "slots=%lld decided=%s tx=%llu rx=%llu max_latency=%lld "
+                "mean_latency=%.1f",
+                static_cast<long long>(slots_executed),
+                all_decided ? "all" : "NOT ALL",
+                static_cast<unsigned long long>(total_transmissions),
+                static_cast<unsigned long long>(total_deliveries),
+                static_cast<long long>(max_decision_latency()),
+                mean_decision_latency());
+  return buf;
+}
+
+}  // namespace sinrcolor::radio

@@ -1,0 +1,54 @@
+// Run metrics collected by the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "radio/message.h"
+
+namespace sinrcolor::radio {
+
+struct RunMetrics {
+  Slot slots_executed = 0;
+  /// True when every node that was still alive at the end had decided.
+  bool all_decided = false;
+  std::uint64_t total_transmissions = 0;
+  std::uint64_t total_deliveries = 0;
+  /// Slot with the most simultaneous transmissions.
+  std::size_t max_concurrent_tx = 0;
+  /// Nodes killed by injected failures during the run.
+  std::size_t failed_nodes = 0;
+  /// Living nodes that never decided (0 unless failures disturbed the run).
+  std::size_t stalled_nodes = 0;
+  /// Per-node slot of decision (relative to slot 0), -1 if undecided.
+  std::vector<Slot> decision_slot;
+  /// Per-node wake-up slot (copied from the schedule for convenience).
+  std::vector<Slot> wake_slot;
+  /// Per-node transmission count (energy accounting).
+  std::vector<std::uint64_t> tx_count;
+  /// Per-node awake-slot count: listening costs energy too.
+  std::vector<std::uint64_t> awake_slots;
+
+  /// Maximum over nodes of (decision slot − wake slot); the paper's time
+  /// complexity measure ("time slots a node spends before deciding").
+  Slot max_decision_latency() const;
+  double mean_decision_latency() const;
+
+  std::string summary() const;
+};
+
+/// Radio energy model (units are arbitrary; defaults reflect the usual
+/// sensor-radio regime where transmitting costs ~1.5-2x idle listening).
+struct EnergyModel {
+  double tx_cost = 1.8;      ///< per transmission slot
+  double listen_cost = 1.0;  ///< per awake (non-transmitting) slot
+
+  /// Energy spent by node v under `metrics`.
+  double node_energy(const RunMetrics& metrics, std::size_t v) const;
+  double total_energy(const RunMetrics& metrics) const;
+  double max_node_energy(const RunMetrics& metrics) const;
+};
+
+}  // namespace sinrcolor::radio

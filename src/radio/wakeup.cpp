@@ -1,0 +1,34 @@
+#include "radio/wakeup.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sinrcolor::radio {
+
+WakeupSchedule simultaneous_wakeup(std::size_t n) {
+  return WakeupSchedule(n, 0);
+}
+
+WakeupSchedule uniform_wakeup(std::size_t n, Slot window, common::Rng& rng) {
+  SINRCOLOR_CHECK(window >= 0);
+  WakeupSchedule schedule(n);
+  for (auto& slot : schedule) slot = rng.uniform_int(0, window);
+  return schedule;
+}
+
+WakeupSchedule staggered_wakeup(std::size_t n, Slot interval) {
+  SINRCOLOR_CHECK(interval >= 0);
+  WakeupSchedule schedule(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    schedule[v] = static_cast<Slot>(v) * interval;
+  }
+  return schedule;
+}
+
+Slot last_wakeup(const WakeupSchedule& schedule) {
+  if (schedule.empty()) return 0;
+  return *std::max_element(schedule.begin(), schedule.end());
+}
+
+}  // namespace sinrcolor::radio

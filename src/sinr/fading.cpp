@@ -1,0 +1,62 @@
+#include "sinr/fading.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sinrcolor::sinr {
+namespace {
+
+// Two independent uniforms in (0, 1) from a link/slot-keyed hash chain.
+struct TwoUniforms {
+  double u1;
+  double u2;
+};
+
+TwoUniforms link_uniforms(const FadingSpec& spec, std::int64_t slot,
+                          std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t lo = std::min(a, b);
+  const std::uint32_t hi = std::max(a, b);
+  std::uint64_t key = spec.seed;
+  key = common::derive_seed(key, (static_cast<std::uint64_t>(lo) << 32) | hi);
+  if (!spec.static_per_link) {
+    key = common::derive_seed(key, static_cast<std::uint64_t>(slot));
+  }
+  std::uint64_t state = key;
+  const auto to_unit = [](std::uint64_t bits) {
+    // (0, 1): never exactly 0 so log() below stays finite.
+    return (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+  };
+  const double u1 = to_unit(common::splitmix64(state));
+  const double u2 = to_unit(common::splitmix64(state));
+  return {u1, u2};
+}
+
+}  // namespace
+
+double fade_factor(const FadingSpec& spec, std::int64_t slot, std::uint32_t a,
+                   std::uint32_t b) {
+  switch (spec.kind) {
+    case FadingKind::kNone:
+      return 1.0;
+    case FadingKind::kRayleigh: {
+      // Power gain of a Rayleigh-faded link is exponential with unit mean.
+      const auto [u1, u2] = link_uniforms(spec, slot, a, b);
+      (void)u2;
+      return -std::log(u1);
+    }
+    case FadingKind::kLogNormal: {
+      SINRCOLOR_CHECK(spec.sigma_db >= 0.0);
+      const auto [u1, u2] = link_uniforms(spec, slot, a, b);
+      // Box–Muller; gain = 10^{X/10} with X ~ N(0, sigma_db²).
+      const double gauss =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+      return std::pow(10.0, spec.sigma_db * gauss / 10.0);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace sinrcolor::sinr

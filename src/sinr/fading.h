@@ -1,0 +1,41 @@
+// Stochastic channel fading — a beyond-the-paper robustness substrate.
+//
+// The paper assumes deterministic path loss P/δ^α. Real channels fade; the
+// two standard models are Rayleigh (multipath; power gain ~ Exp(1)) and
+// log-normal shadowing (obstacles; gain = 10^{X/10}, X ~ N(0, σ_dB²)).
+// Fades can be redrawn every slot (fast fading) or fixed per link
+// (quasi-static shadowing). All draws are pure functions of
+// (seed, slot, link), so simulations stay bit-reproducible regardless of
+// evaluation order.
+//
+// Note: with β ≥ 1 the "at most one decodable sender per listener" invariant
+// survives fading — SINR_i ≥ 1 forces the faded signal i to carry more than
+// half of the total received power, which at most one sender can do.
+#pragma once
+
+#include <cstdint>
+
+namespace sinrcolor::sinr {
+
+enum class FadingKind : std::uint8_t {
+  kNone,       ///< deterministic path loss (the paper's model)
+  kRayleigh,   ///< multiplicative power gain ~ Exp(1), unit mean
+  kLogNormal,  ///< gain = 10^{X/10}, X ~ N(0, sigma_db²), unit-MEDIAN
+};
+
+struct FadingSpec {
+  FadingKind kind = FadingKind::kNone;
+  double sigma_db = 6.0;        ///< shadowing std-dev (kLogNormal only)
+  bool static_per_link = false; ///< true: one draw per link, frozen over time
+  std::uint64_t seed = 0x5eedfade;
+
+  bool enabled() const { return kind != FadingKind::kNone; }
+};
+
+/// Multiplicative power gain for the (a, b) link in `slot` (ignored when
+/// static_per_link). Symmetric in (a, b); strictly positive; equal to 1 when
+/// fading is disabled.
+double fade_factor(const FadingSpec& spec, std::int64_t slot, std::uint32_t a,
+                   std::uint32_t b);
+
+}  // namespace sinrcolor::sinr

@@ -1,0 +1,48 @@
+#include "sinr/medium_field.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sinrcolor::sinr {
+
+double interference_at(const SinrParams& params, const geometry::Point& at,
+                       std::span<const Transmitter> transmitters,
+                       std::size_t exclude) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    if (i == exclude) continue;
+    const double d_sq = geometry::distance_sq(at, transmitters[i].position);
+    SINRCOLOR_CHECK_MSG(d_sq > 0.0,
+                        "transmitter coincides with measurement point");
+    total += params.power / pow_alpha_from_sq(d_sq, params.alpha);
+  }
+  return total;
+}
+
+double sinr_at(const SinrParams& params, const geometry::Point& at,
+               std::span<const Transmitter> transmitters, std::size_t sender) {
+  SINRCOLOR_CHECK(sender < transmitters.size());
+  const double d_sq = geometry::distance_sq(at, transmitters[sender].position);
+  SINRCOLOR_CHECK_MSG(d_sq > 0.0, "sender coincides with receiver");
+  const double signal = params.power / pow_alpha_from_sq(d_sq, params.alpha);
+  const double interference =
+      interference_at(params, at, transmitters, sender);
+  return signal / (params.noise + interference);
+}
+
+double interference_outside(const SinrParams& params, const geometry::Point& at,
+                            std::span<const Transmitter> transmitters,
+                            double radius) {
+  const double r_sq = radius * radius;
+  double total = 0.0;
+  for (const auto& tx : transmitters) {
+    const double d_sq = geometry::distance_sq(at, tx.position);
+    if (d_sq > r_sq) {
+      total += params.power / pow_alpha_from_sq(d_sq, params.alpha);
+    }
+  }
+  return total;
+}
+
+}  // namespace sinrcolor::sinr

@@ -1,0 +1,49 @@
+// The additive interference field: total received power at a point from a
+// set of simultaneous transmitters.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "sinr/params.h"
+
+namespace sinrcolor::sinr {
+
+/// A transmitter: a position (its index identifies it to callers).
+struct Transmitter {
+  geometry::Point position;
+};
+
+/// δ^α computed from the squared distance, with fast paths for the common
+/// even/odd integer exponents (α = 4 is the library default and per-slot
+/// reception resolution calls this in a tight loop).
+inline double pow_alpha_from_sq(double d_sq, double alpha) {
+  if (alpha == 4.0) return d_sq * d_sq;
+  if (alpha == 3.0) return d_sq * std::sqrt(d_sq);
+  if (alpha == 6.0) return d_sq * d_sq * d_sq;
+  return std::pow(d_sq, alpha / 2.0);
+}
+
+/// Σ over transmitters of P/δ(at, tx)^α, skipping any transmitter whose index
+/// equals `exclude` (pass SIZE_MAX to include all). Transmitters co-located
+/// with `at` contribute P/ε^α-style blowups; callers must exclude the node
+/// itself. Aborts if a non-excluded transmitter coincides with `at`.
+double interference_at(const SinrParams& params, const geometry::Point& at,
+                       std::span<const Transmitter> transmitters,
+                       std::size_t exclude = static_cast<std::size_t>(-1));
+
+/// SINR of the link from transmitters[sender] to the point `at`, given every
+/// other transmitter interferes.
+double sinr_at(const SinrParams& params, const geometry::Point& at,
+               std::span<const Transmitter> transmitters, std::size_t sender);
+
+/// Interference at `at` from transmitters strictly farther than `radius`
+/// (used by the Lemma-3 probes, which split the field at R_I).
+double interference_outside(const SinrParams& params, const geometry::Point& at,
+                            std::span<const Transmitter> transmitters,
+                            double radius);
+
+}  // namespace sinrcolor::sinr

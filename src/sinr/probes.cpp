@@ -1,0 +1,33 @@
+#include "sinr/probes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sinrcolor::sinr {
+
+double probabilistic_interference_outside(
+    const SinrParams& params, const geometry::Point& at,
+    std::span<const geometry::Point> positions, std::span<const double> probs,
+    double radius, std::size_t self) {
+  SINRCOLOR_CHECK(positions.size() == probs.size());
+  const double r_sq = radius * radius;
+  double total = 0.0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (i == self) continue;
+    const double d_sq = geometry::distance_sq(at, positions[i]);
+    if (d_sq <= r_sq) continue;
+    total += params.power * probs[i] / std::pow(d_sq, params.alpha / 2.0);
+  }
+  return total;
+}
+
+void BoundProbe::record(double value) {
+  max_ = std::max(max_, value);
+  sum_ += value;
+  ++count_;
+  if (value > bound_) ++violations_;
+}
+
+}  // namespace sinrcolor::sinr

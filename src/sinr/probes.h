@@ -1,0 +1,53 @@
+// Interference probes for the Lemma-3 experiment (bench X5).
+//
+// Lemma 3 bounds the *probabilistic* interference at u caused by nodes
+// outside I_u: Ψ_u^{v∉I_u} = P·Σ_{v∉I_u} p_v/δ(u,v)^α ≤ P/(2ρβR_T^α).
+// The probe evaluates both that expectation (from per-node sending
+// probabilities) and the realized per-slot interference from actual
+// transmitter draws, so the bound and its Markov-slack usage can be measured.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "sinr/medium_field.h"
+#include "sinr/params.h"
+
+namespace sinrcolor::sinr {
+
+/// Ψ_u^{v∉disc(radius)}: expected (probabilistic) interference at `at` when
+/// node i at positions[i] transmits independently with probability probs[i].
+/// The node co-located with `at` (if any) must be excluded via `self`.
+double probabilistic_interference_outside(
+    const SinrParams& params, const geometry::Point& at,
+    std::span<const geometry::Point> positions, std::span<const double> probs,
+    double radius, std::size_t self);
+
+/// Running max/mean of probe measurements against a fixed bound.
+class BoundProbe {
+ public:
+  explicit BoundProbe(double bound) : bound_(bound) {}
+
+  void record(double value);
+
+  double bound() const { return bound_; }
+  double max_observed() const { return max_; }
+  double mean_observed() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  std::size_t samples() const { return count_; }
+  std::size_t violations() const { return violations_; }
+  /// max observed / bound; < 1 means the bound held with margin.
+  double worst_ratio() const { return bound_ > 0.0 ? max_ / bound_ : 0.0; }
+
+ private:
+  double bound_;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+  std::size_t violations_ = 0;
+};
+
+}  // namespace sinrcolor::sinr

@@ -1,0 +1,31 @@
+// Per-slot reception resolution under the SINR rule.
+//
+// Given the positions of this slot's transmitters and a listener, decide
+// which (unique, since β ≥ 1) transmitter it decodes, if any, subject to the
+// paper's extra gate δ(u,v) ≤ R_T.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "geometry/point.h"
+#include "sinr/medium_field.h"
+#include "sinr/params.h"
+
+namespace sinrcolor::sinr {
+
+/// True iff listener at `at` decodes transmitters[sender] under SINR and the
+/// range gate δ ≤ R_T.
+bool decodes(const SinrParams& params, const geometry::Point& at,
+             std::span<const Transmitter> transmitters, std::size_t sender);
+
+/// Index of the unique transmitter the listener decodes, or nullopt.
+/// Checks only candidates within R_T (others cannot pass the range gate).
+/// With β ≥ 1 at most one transmitter can satisfy the SINR condition at a
+/// given listener; this invariant is asserted.
+std::optional<std::size_t> resolve_reception(
+    const SinrParams& params, const geometry::Point& at,
+    std::span<const Transmitter> transmitters);
+
+}  // namespace sinrcolor::sinr

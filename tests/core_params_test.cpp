@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/mw_params.h"
+#include "graph/packing.h"
+
+namespace sinrcolor::core {
+namespace {
+
+MwConfig make_config(double alpha, double beta, double rho, std::size_t delta,
+                     std::size_t n, double c = 5.0) {
+  MwConfig cfg;
+  cfg.n = n;
+  cfg.max_degree = delta;
+  cfg.phys.alpha = alpha;
+  cfg.phys.beta = beta;
+  cfg.phys.rho = rho;
+  cfg.phys.power = 1.0;
+  cfg.phys.noise = 1e-6;
+  cfg.c = c;
+  return cfg;
+}
+
+// Fact 1 of the paper: ∀x ≥ 1, |t| ≤ x: e^t (1 − t²/x) ≤ (1 + t/x)^x ≤ e^t.
+class Fact1Test
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Fact1Test, InequalityHolds) {
+  const auto [x, t_fraction] = GetParam();
+  const double t = t_fraction * x;  // spans |t| ≤ x
+  const double mid = std::pow(1.0 + t / x, x);
+  const double hi = std::exp(t);
+  const double lo = std::exp(t) * (1.0 - t * t / x);
+  EXPECT_LE(mid, hi * (1.0 + 1e-12)) << "x=" << x << " t=" << t;
+  EXPECT_GE(mid, lo - 1e-12) << "x=" << x << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Fact1Test,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 5.0, 10.0, 100.0, 1e4),
+                       ::testing::Values(-1.0, -0.5, -0.1, 0.0, 0.1, 0.5,
+                                         0.99)));
+
+// The paper's Section-II constants, over an (α, β, ρ, Δ, n) grid.
+class TheoryParamsTest
+    : public ::testing::TestWithParam<
+          std::tuple<double, double, double, std::size_t, std::size_t>> {};
+
+TEST_P(TheoryParamsTest, PaperInequalitiesHold) {
+  const auto [alpha, beta, rho, delta, n] = GetParam();
+  const auto cfg = make_config(alpha, beta, rho, delta, n);
+  const auto p = MwParams::theory(cfg);
+
+  // λ, λ' are probabilities (the paper's success-probability lower bounds).
+  EXPECT_GT(p.lambda, 0.0);
+  EXPECT_LT(p.lambda, 1.0);
+  EXPECT_GT(p.lambda_prime, 0.0);
+  EXPECT_LT(p.lambda_prime, 1.0);
+  // λ ≥ λ' structurally (λ' divides by an extra e·φ(R_I+R_T) worth of mass).
+  EXPECT_GT(p.lambda, p.lambda_prime);
+
+  // "By a routine computation, one can easily verify that σ > 2γ."
+  EXPECT_GT(p.sigma, 2.0 * p.gamma);
+
+  // η ≥ 2γφ(2R_T) + σ + 1 and μ ≥ max(γ, σ) hold by construction; re-check
+  // against the raw formula values.
+  EXPECT_GE(p.eta, 2.0 * p.gamma * p.phi_2rt_value + p.sigma + 1.0);
+  EXPECT_GE(p.mu, p.gamma);
+  EXPECT_GE(p.mu, p.sigma);
+
+  // Sending probabilities: q_s = q_ℓ/Δ, both in (0, 1).
+  EXPECT_GT(p.q_small, 0.0);
+  EXPECT_LT(p.q_leader, 1.0);
+  EXPECT_NEAR(p.q_small * static_cast<double>(delta), p.q_leader, 1e-12);
+
+  // Eq. 1's budget: q_ℓ·φ(R_T) + q_s·Δ ≤ 2 (φ(R_T) = 1 independent node/B).
+  EXPECT_LE(p.q_leader + p.q_small * static_cast<double>(delta), 2.0);
+
+  // Derived slot counts are positive and ordered (GE because counts saturate
+  // at the int64 cap for α close to 2, where φ(R_I) explodes). The strict
+  // relations are asserted on the unsaturated constants σ, γ, η above/below.
+  EXPECT_GT(p.window_zero, 0);
+  EXPECT_GE(p.window_positive, p.window_zero);
+  EXPECT_GE(p.counter_threshold, 2 * p.window_zero);
+  EXPECT_GE(p.listen_slots, p.counter_threshold);
+  EXPECT_GT(p.assign_slots, 0);
+  EXPECT_GT(p.eta, p.sigma);
+  if (p.counter_threshold < std::int64_t{8'000'000'000'000'000'000}) {
+    EXPECT_GT(p.counter_threshold, 2 * p.window_positive);
+  }
+
+  // Physical-layer geometry.
+  EXPECT_GE(cfg.phys.r_i(), 2.0 * cfg.phys.r_t());
+  EXPECT_GT(cfg.phys.mac_distance_d(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TheoryParamsTest,
+    ::testing::Combine(::testing::Values(2.5, 3.0, 4.0, 6.0),   // α
+                       ::testing::Values(1.0, 1.5, 3.0),        // β
+                       ::testing::Values(1.5, 2.0),             // ρ
+                       ::testing::Values<std::size_t>(1, 8, 64),  // Δ
+                       ::testing::Values<std::size_t>(16, 1024)));  // n
+
+TEST(TheoryParams, PaletteBoundMatchesTheorem2) {
+  const auto p = MwParams::theory(make_config(4.0, 1.5, 1.5, 10, 100));
+  EXPECT_EQ(p.palette_bound(), (p.phi_2rt + 1) * 10);
+}
+
+TEST(TheoryParams, RequiresCAtLeastFive) {
+  EXPECT_DEATH((void)MwParams::theory(make_config(4.0, 1.5, 1.5, 4, 16, 2.0)),
+               "c >= 5");
+}
+
+TEST(TheoryParams, SlotCountsScaleWithDeltaAndLogN) {
+  const auto base = MwParams::theory(make_config(4.0, 1.5, 1.5, 8, 256));
+  const auto more_delta = MwParams::theory(make_config(4.0, 1.5, 1.5, 16, 256));
+  const auto more_n = MwParams::theory(make_config(4.0, 1.5, 1.5, 8, 65536));
+  // Listen/threshold scale ~linearly in Δ (λ, λ' change only slightly).
+  EXPECT_GT(more_delta.listen_slots, base.listen_slots);
+  EXPECT_GT(more_delta.counter_threshold, static_cast<std::int64_t>(
+      1.5 * static_cast<double>(base.counter_threshold)));
+  // ln(65536)/ln(256) = 2: threshold doubles.
+  EXPECT_NEAR(static_cast<double>(more_n.counter_threshold),
+              2.0 * static_cast<double>(base.counter_threshold),
+              static_cast<double>(base.counter_threshold) * 0.01 + 2.0);
+}
+
+class PracticalParamsTest : public ::testing::TestWithParam<
+                                std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PracticalParamsTest, StructuralRelationsPreserved) {
+  const auto [delta, n] = GetParam();
+  const auto cfg = make_config(4.0, 1.5, 1.5, delta, n);
+  const auto p = MwParams::practical(cfg);
+
+  EXPECT_NEAR(p.q_small * static_cast<double>(delta), p.q_leader, 1e-12);
+  EXPECT_GT(p.counter_threshold, 2 * p.window_positive);
+  EXPECT_GE(p.listen_slots, p.counter_threshold);
+  EXPECT_GE(p.window_positive, p.window_zero);
+  // Window/probability coupling: q·window ≈ κ·ln n for both classes.
+  const double kappa = PracticalTuning{}.kappa;
+  const double log_n = std::log(static_cast<double>(n));
+  EXPECT_NEAR(p.q_leader * static_cast<double>(p.window_zero), kappa * log_n,
+              p.q_leader + 0.05 * log_n);
+  EXPECT_NEAR(p.q_small * static_cast<double>(p.window_positive), kappa * log_n,
+              p.q_small + 0.05 * log_n);
+  EXPECT_GT(p.recommended_max_slots(), p.listen_slots);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PracticalParamsTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 10, 50),
+                       ::testing::Values<std::size_t>(4, 100, 4096)));
+
+TEST(PracticalParams, RejectsBrokenTuning) {
+  const auto cfg = make_config(4.0, 1.5, 1.5, 8, 64);
+  PracticalTuning bad;
+  bad.sigma_factor = 1.5;  // violates σ̂ > 2
+  EXPECT_DEATH((void)MwParams::practical(cfg, bad), "threshold");
+  PracticalTuning bad2;
+  bad2.eta_factor = 3.0;  // violates η̂ ≥ σ̂ + 2
+  EXPECT_DEATH((void)MwParams::practical(cfg, bad2), "eta");
+  PracticalTuning bad3;
+  bad3.mu_factor = 0.1;  // violates μ̂ ≥ κ
+  EXPECT_DEATH((void)MwParams::practical(cfg, bad3), "mu");
+}
+
+TEST(PracticalParams, CounterWindowSelectsZeta) {
+  const auto p = MwParams::practical(make_config(4.0, 1.5, 1.5, 12, 128));
+  EXPECT_EQ(p.counter_window(0), p.window_zero);
+  EXPECT_EQ(p.counter_window(1), p.window_positive);
+  EXPECT_EQ(p.counter_window(37), p.window_positive);
+}
+
+TEST(PracticalParams, ToStringMentionsKeyFields) {
+  const auto p = MwParams::practical(make_config(4.0, 1.5, 1.5, 12, 128));
+  const auto s = p.to_string();
+  EXPECT_NE(s.find("Delta=12"), std::string::npos);
+  EXPECT_NE(s.find("listen="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sinrcolor::core

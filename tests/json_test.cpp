@@ -1,0 +1,114 @@
+// Tests for the JSON writer and the run-report serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "core/mw_protocol.h"
+#include "core/report.h"
+#include "geometry/deployment.h"
+
+namespace sinrcolor {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  common::JsonWriter json;
+  json.begin_object();
+  json.field("name", "node");
+  json.field("id", 42);
+  json.field("p", 0.5);
+  json.field("ok", true);
+  json.key("none");
+  json.null();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"node","id":42,"p":0.5,"ok":true,"none":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  common::JsonWriter json;
+  json.begin_object();
+  json.key("xs");
+  json.begin_array();
+  json.value(1);
+  json.value(2);
+  json.begin_object();
+  json.field("y", 3);
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"xs":[1,2,{"y":3}]})");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  common::JsonWriter json;
+  json.begin_object();
+  json.key("a");
+  json.begin_array();
+  json.end_array();
+  json.key("o");
+  json.begin_object();
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"a":[],"o":{}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(common::JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(common::JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(common::JsonWriter::escape("line\nbreak\ttab"),
+            "line\\nbreak\\ttab");
+  EXPECT_EQ(common::JsonWriter::escape(std::string("\x01")), "\\u0001");
+}
+
+TEST(JsonWriter, TopLevelArray) {
+  common::JsonWriter json;
+  json.begin_array();
+  json.value(std::int64_t{-7});
+  json.value("x");
+  json.end_array();
+  EXPECT_EQ(json.str(), R"([-7,"x"])");
+}
+
+TEST(JsonWriter, RejectsDanglingKey) {
+  common::JsonWriter json;
+  json.begin_object();
+  json.key("k");
+  EXPECT_DEATH(json.end_object(), "dangling key");
+}
+
+TEST(JsonWriter, RejectsValueWithoutKeyInObject) {
+  common::JsonWriter json;
+  json.begin_object();
+  EXPECT_DEATH(json.value(1), "key");
+}
+
+TEST(RunReport, SerializesAndRoundTripsStructurally) {
+  common::Rng rng(77);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(40, 2.5, rng), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 3;
+  const auto result = core::run_mw_coloring(g, cfg);
+
+  const auto doc = core::to_json(result);
+  // Structural sanity without a parser: key fields and balanced braces.
+  EXPECT_NE(doc.find("\"params\""), std::string::npos);
+  EXPECT_NE(doc.find("\"palette\""), std::string::npos);
+  EXPECT_NE(doc.find("\"colors\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"coloring_valid\":true"), std::string::npos);
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+            std::count(doc.begin(), doc.end(), ']'));
+
+  const auto compact = core::to_json(result, /*include_per_node=*/false);
+  EXPECT_EQ(compact.find("\"colors\""), std::string::npos);
+  EXPECT_LT(compact.size(), doc.size());
+
+  const auto params_doc = core::to_json(result.params);
+  EXPECT_NE(params_doc.find("\"counter_threshold\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sinrcolor

@@ -1,0 +1,124 @@
+// Empirical checks of the paper's structural lemmas on live runs:
+//  * Lemma 4 — for any node v and class i > 0, the number of nodes in B_v
+//    that ever enter A_i is at most φ(2R_T) (distinct leaders within 2R_T);
+//  * its corollary — after receiving cluster color tc, a node only occupies
+//    classes tc·(φ+1) … tc·(φ+1)+span with span bounded by the packing
+//    number (each advance is caused by a distinct same-tc neighbor);
+//  * the driver honours a non-default physical layer (α, β via
+//    MwRunConfig::phys_template).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "core/mw_protocol.h"
+#include "geometry/deployment.h"
+#include "graph/packing.h"
+
+namespace sinrcolor::core {
+namespace {
+
+struct ClassOccupancy {
+  // per node: set of competition classes (i > 0) it was ever observed in.
+  std::vector<std::set<std::int32_t>> classes;
+};
+
+ClassOccupancy observe_classes(MwInstance& instance) {
+  ClassOccupancy occ;
+  occ.classes.resize(instance.graph().size());
+  const auto& nodes = instance.nodes();
+  instance.simulator().add_observer(
+      [&occ, &nodes](radio::Slot, std::span<const radio::TxRecord>) {
+        for (std::size_t v = 0; v < nodes.size(); ++v) {
+          const auto state = nodes[v]->state();
+          if ((state == MwStateKind::kListening ||
+               state == MwStateKind::kCompeting) &&
+              nodes[v]->color_class() > 0) {
+            occ.classes[v].insert(nodes[v]->color_class());
+          }
+        }
+      });
+  return occ;
+}
+
+TEST(Lemma4, CompetitorsPerClassBoundedByPacking) {
+  common::Rng rng(4242);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(130, 4.0, rng), 1.0);
+  MwRunConfig cfg;
+  cfg.seed = 11;
+  MwInstance instance(g, cfg);
+  auto occ = observe_classes(instance);
+  const auto result = instance.run();
+  ASSERT_TRUE(result.metrics.all_decided);
+  ASSERT_TRUE(result.coloring_valid);
+
+  const std::size_t phi = graph::empirical_phi_2rt(g);
+  // For every node v and class i > 0: |{u in closed B_v : u ever in A_i}|
+  // ≤ φ(2R_T). (The lemma's proof counts one distinct leader per such node.)
+  std::size_t worst = 0;
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    std::map<std::int32_t, std::size_t> per_class;
+    for (std::int32_t c : occ.classes[v]) ++per_class[c];
+    for (graph::NodeId u : g.neighbors(v)) {
+      for (std::int32_t c : occ.classes[u]) ++per_class[c];
+    }
+    for (const auto& [c, count] : per_class) {
+      worst = std::max(worst, count);
+      EXPECT_LE(count, phi) << "node " << v << " class " << c;
+    }
+  }
+  // Sanity: the bound is actually exercised (some class had ≥ 2 competitors).
+  EXPECT_GE(worst, 2u);
+}
+
+TEST(Lemma4, ClassSpanPerClusterColorIsBounded) {
+  common::Rng rng(4343);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(130, 4.0, rng), 1.0);
+  MwRunConfig cfg;
+  cfg.seed = 12;
+  MwInstance instance(g, cfg);
+  auto occ = observe_classes(instance);
+  const auto result = instance.run();
+  ASSERT_TRUE(result.metrics.all_decided);
+
+  const std::int32_t spacing = result.params.phi_2rt + 1;
+  const auto phi = static_cast<std::int32_t>(graph::empirical_phi_2rt(g));
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    if (occ.classes[v].empty()) continue;  // leaders never compete above 0
+    const std::int32_t lo = *occ.classes[v].begin();
+    const std::int32_t hi = *occ.classes[v].rbegin();
+    // Classes are visited consecutively from the assigned base upward.
+    EXPECT_EQ(static_cast<std::size_t>(hi - lo) + 1, occ.classes[v].size());
+    // Base is a multiple of the spacing, and the span is bounded by the
+    // number of distinct same-tc competitors (≤ φ(2R_T) by Lemma 4).
+    EXPECT_EQ(lo % spacing, 0) << "node " << v;
+    EXPECT_LE(hi - lo, phi) << "node " << v;
+  }
+}
+
+TEST(PhysTemplate, ProtocolRunsAtAlpha3AndAlpha6) {
+  common::Rng rng(4545);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(80, 3.5, rng), 1.0);
+  for (double alpha : {3.0, 6.0}) {
+    MwRunConfig cfg;
+    cfg.seed = 13;
+    cfg.phys_template.alpha = alpha;
+    cfg.phys_template.beta = 2.0;
+    const auto result = run_mw_coloring(g, cfg);
+    EXPECT_TRUE(result.metrics.all_decided) << "alpha=" << alpha;
+    EXPECT_TRUE(result.coloring_valid) << "alpha=" << alpha;
+    EXPECT_EQ(result.independence_violations, 0u) << "alpha=" << alpha;
+  }
+}
+
+TEST(PhysTemplate, RejectsInvalidTemplate) {
+  common::Rng rng(4646);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(10, 2.0, rng), 1.0);
+  MwRunConfig cfg;
+  cfg.phys_template.alpha = 2.0;  // inadmissible
+  EXPECT_DEATH((void)run_mw_coloring(g, cfg), "alpha");
+}
+
+}  // namespace
+}  // namespace sinrcolor::core

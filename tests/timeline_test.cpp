@@ -1,0 +1,109 @@
+// Tests for the state timeline instrumentation and the clique lower bound.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/mw_protocol.h"
+#include "core/timeline.h"
+#include "geometry/deployment.h"
+#include "graph/packing.h"
+
+namespace sinrcolor {
+namespace {
+
+TEST(StateTimeline, SamplesSumToNodeCountAndEndColored) {
+  common::Rng rng(55);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(60, 3.0, rng), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 3;
+  core::MwInstance instance(g, cfg);
+  core::StateTimeline timeline(64);
+  timeline.attach(instance);
+  const auto result = instance.run();
+  ASSERT_TRUE(result.metrics.all_decided);
+  ASSERT_FALSE(timeline.samples().empty());
+
+  for (const auto& sample : timeline.samples()) {
+    std::uint32_t total = 0;
+    for (std::uint32_t c : sample.count) total += c;
+    ASSERT_EQ(total, g.size());
+  }
+  // First sample: everyone in the listening phase (simultaneous wake-up).
+  const auto& first = timeline.samples().front();
+  EXPECT_EQ(first.count[static_cast<std::size_t>(core::MwStateKind::kListening)],
+            g.size());
+  // Last sample: nobody asleep, and decided states dominate.
+  const auto& last = timeline.samples().back();
+  EXPECT_EQ(last.count[static_cast<std::size_t>(core::MwStateKind::kAsleep)], 0u);
+  const auto decided =
+      last.count[static_cast<std::size_t>(core::MwStateKind::kLeader)] +
+      last.count[static_cast<std::size_t>(core::MwStateKind::kColored)];
+  EXPECT_GT(decided, g.size() / 2);
+}
+
+TEST(StateTimeline, DecidedFractionIsMonotone) {
+  common::Rng rng(56);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(50, 3.0, rng), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 4;
+  core::MwInstance instance(g, cfg);
+  core::StateTimeline timeline(32);
+  timeline.attach(instance);
+  (void)instance.run();
+  const auto t25 = timeline.decided_fraction_slot(0.25);
+  const auto t50 = timeline.decided_fraction_slot(0.5);
+  const auto t90 = timeline.decided_fraction_slot(0.9);
+  ASSERT_GE(t25, 0);
+  ASSERT_GE(t50, t25);
+  ASSERT_GE(t90, t50);
+  EXPECT_EQ(timeline.decided_fraction_slot(0.0), timeline.samples().front().slot);
+}
+
+TEST(StateTimeline, AsciiRenderContainsAllStates) {
+  common::Rng rng(57);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(40, 2.5, rng), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 5;
+  core::MwInstance instance(g, cfg);
+  core::StateTimeline timeline(16);
+  timeline.attach(instance);
+  (void)instance.run();
+  const auto art = timeline.render_ascii(40);
+  EXPECT_NE(art.find("listening"), std::string::npos);
+  EXPECT_NE(art.find("competing"), std::string::npos);
+  EXPECT_NE(art.find("colored"), std::string::npos);
+  EXPECT_NE(art.find("samples"), std::string::npos);
+}
+
+TEST(StateTimeline, EmptyTimelineRendersPlaceholder) {
+  core::StateTimeline timeline(16);
+  EXPECT_EQ(timeline.render_ascii(), "(no samples)\n");
+  EXPECT_EQ(timeline.decided_fraction_slot(0.5), -1);
+}
+
+TEST(CliqueLowerBound, ExactOnHandInstances) {
+  // Triangle + isolated node: clique number 3.
+  geometry::Deployment dep;
+  dep.side = 10.0;
+  dep.points = {{0, 0}, {0.5, 0}, {0.25, 0.4}, {5, 5}};
+  graph::UnitDiskGraph g(dep, 1.0);
+  EXPECT_EQ(graph::greedy_clique_lower_bound(g), 3u);
+
+  graph::UnitDiskGraph chain(geometry::line_deployment(5, 0.9), 1.0);
+  EXPECT_EQ(graph::greedy_clique_lower_bound(chain), 2u);
+
+  graph::UnitDiskGraph empty_graph(geometry::line_deployment(3, 2.0), 1.0);
+  EXPECT_EQ(graph::greedy_clique_lower_bound(empty_graph), 1u);
+}
+
+TEST(CliqueLowerBound, NeverExceedsPaletteOfAnyValidColoring) {
+  common::Rng rng(58);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(200, 5.0, rng), 1.0);
+  const auto lb = graph::greedy_clique_lower_bound(g);
+  EXPECT_GE(lb, 1u);
+  EXPECT_LE(lb, g.max_degree() + 1);
+  // Clique LB ≤ χ(G) ≤ palette of the greedy coloring.
+  // (Checked against the MW protocol's palette in bench X1.)
+}
+
+}  // namespace
+}  // namespace sinrcolor

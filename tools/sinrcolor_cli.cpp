@@ -1,0 +1,212 @@
+// sinrcolor — command-line front end for the library.
+//
+//   sinrcolor_cli params   [--n=..] [--delta=..] [--alpha=..] [--beta=..]
+//                          [--rho=..] [--profile=practical|theory]
+//   sinrcolor_cli color    [--n=..] [--side=..] [--seed=..] [--deployment=..]
+//                          [--wakeup=sync|uniform] [--json=out.json] [--quiet]
+//   sinrcolor_cli mac      [--n=..] [--side=..] [--seed=..]
+//   sinrcolor_cli simulate [--n=..] [--side=..] [--seed=..] [--algorithm=..]
+//
+// `params` prints the theory and practical constants side by side for an
+// instance size; `color` runs the distributed coloring (optionally exporting
+// the full run as JSON); `mac` builds the Theorem-3 TDMA schedule and audits
+// it; `simulate` runs a message-passing algorithm over the simulated MAC.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "baseline/greedy_coloring.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/mw_protocol.h"
+#include "core/report.h"
+#include "geometry/deployment.h"
+#include "graph/graph_algos.h"
+#include "mac/algorithms.h"
+#include "mac/distance_d.h"
+#include "mac/simulation.h"
+#include "mac/tdma.h"
+
+namespace {
+
+using namespace sinrcolor;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: sinrcolor_cli <params|color|mac|simulate> [--flags]\n"
+               "see the header of tools/sinrcolor_cli.cpp for details\n");
+  std::exit(2);
+}
+
+graph::UnitDiskGraph build_graph(const common::Cli& cli) {
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 200));
+  const double side = cli.get_double("side", 5.0);
+  const auto seed = cli.get_seed("seed", 1);
+  const std::string kind = cli.get("deployment", "uniform");
+  common::Rng rng(seed);
+  geometry::Deployment dep;
+  if (kind == "uniform") {
+    dep = geometry::uniform_deployment(n, side, rng);
+  } else if (kind == "clustered") {
+    dep = geometry::clustered_deployment(n, side, 4, side / 5.0, rng);
+  } else if (kind == "grid") {
+    dep = geometry::grid_deployment(n, side, 0.2, rng);
+  } else if (kind == "line") {
+    dep = geometry::line_deployment(n, 0.8);
+  } else {
+    std::fprintf(stderr, "unknown --deployment=%s\n", kind.c_str());
+    std::exit(2);
+  }
+  return {std::move(dep), cli.get_double("radius", 1.0)};
+}
+
+sinr::SinrParams phys_for(const graph::UnitDiskGraph& g) {
+  sinr::SinrParams p;
+  p.noise = p.power / (2.0 * p.beta * std::pow(g.radius(), p.alpha));
+  return p;
+}
+
+int cmd_params(const common::Cli& cli) {
+  core::MwConfig cfg;
+  cfg.n = static_cast<std::size_t>(cli.get_int("n", 256));
+  cfg.max_degree = static_cast<std::size_t>(cli.get_int("delta", 16));
+  cfg.phys.alpha = cli.get_double("alpha", 4.0);
+  cfg.phys.beta = cli.get_double("beta", 1.5);
+  cfg.phys.rho = cli.get_double("rho", 1.5);
+  cfg.phys.noise = 1e-6;
+  cli.reject_unknown();
+
+  const auto theory = core::MwParams::theory(cfg);
+  const auto practical = core::MwParams::practical(cfg);
+  std::printf("physical layer: %s\n\n", cfg.phys.to_string().c_str());
+
+  common::Table t({"constant", "theory (paper Sec. II)", "practical profile"});
+  auto row = [&](const char* name, double a, double b) {
+    t.add_row({name, common::Table::num(a, 4), common::Table::num(b, 4)});
+  };
+  row("q_leader", theory.q_leader, practical.q_leader);
+  row("q_small", theory.q_small, practical.q_small);
+  row("listen slots", static_cast<double>(theory.listen_slots),
+      static_cast<double>(practical.listen_slots));
+  row("counter threshold", static_cast<double>(theory.counter_threshold),
+      static_cast<double>(practical.counter_threshold));
+  row("window (class 0)", static_cast<double>(theory.window_zero),
+      static_cast<double>(practical.window_zero));
+  row("window (class i>0)", static_cast<double>(theory.window_positive),
+      static_cast<double>(practical.window_positive));
+  row("assign slots", static_cast<double>(theory.assign_slots),
+      static_cast<double>(practical.assign_slots));
+  row("palette bound", static_cast<double>(theory.palette_bound()),
+      static_cast<double>(practical.palette_bound()));
+  t.print(std::cout);
+  std::printf(
+      "\n(the theory column is what the w.h.p. proofs demand — about %.0e "
+      "slots of listen phase alone; the practical profile preserves every "
+      "structural relation at simulation-friendly constants)\n",
+      static_cast<double>(theory.listen_slots));
+  return 0;
+}
+
+int cmd_color(const common::Cli& cli) {
+  const auto g = build_graph(cli);
+  core::MwRunConfig cfg;
+  cfg.seed = cli.get_seed("seed", 1);
+  if (cli.get("wakeup", "sync") == "uniform") {
+    cfg.wakeup = core::WakeupKind::kUniform;
+    cfg.wakeup_window = cli.get_int("wakeup-window", 2000);
+  }
+  const std::string json_path = cli.get("json", "");
+  const bool quiet = cli.get_bool("quiet", false);
+  cli.reject_unknown();
+
+  const auto result = core::run_mw_coloring(g, cfg);
+  if (!quiet) {
+    std::printf("graph: n=%zu Delta=%zu avg_deg=%.1f\n", g.size(),
+                g.max_degree(), g.average_degree());
+    std::printf("params: %s\n", result.params.to_string().c_str());
+    std::printf("result: %s\n", result.summary().c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << core::to_json(result) << '\n';
+    if (!quiet) std::printf("report written to %s\n", json_path.c_str());
+  }
+  return result.coloring_valid && result.metrics.all_decided ? 0 : 1;
+}
+
+int cmd_mac(const common::Cli& cli) {
+  const auto g = build_graph(cli);
+  const auto phys = phys_for(g);
+  const double d = phys.mac_distance_d();
+  cli.reject_unknown();
+
+  const auto coloring = baseline::greedy_distance_d_coloring(g, d + 1.0);
+  const auto schedule = mac::TdmaSchedule::from_coloring(coloring);
+  const auto audit = mac::audit_tdma_sinr(g, phys, schedule);
+  std::printf("d=%.3f, frame length V=%u\n", d, schedule.frame_length());
+  std::printf("audit: %s\n", audit.summary().c_str());
+  return audit.interference_free() ? 0 : 1;
+}
+
+int cmd_simulate(const common::Cli& cli) {
+  const auto g = build_graph(cli);
+  const auto phys = phys_for(g);
+  const double d = phys.mac_distance_d();
+  const std::string algorithm = cli.get("algorithm", "flooding");
+  cli.reject_unknown();
+
+  const auto schedule = mac::TdmaSchedule::from_coloring(
+      baseline::greedy_distance_d_coloring(g, d + 1.0));
+
+  if (algorithm == "flooding") {
+    auto nodes = mac::instantiate(g, [](graph::NodeId v, const auto&) {
+      return std::make_unique<mac::FloodingBfs>(v, 0);
+    });
+    const auto sim = mac::run_over_sinr_tdma(g, phys, schedule, nodes, 1000);
+    const auto oracle = graph::bfs_distances(g, 0);
+    std::size_t correct = 0, reachable = 0;
+    for (graph::NodeId v = 0; v < g.size(); ++v) {
+      if (oracle[v] == graph::kUnreachable) continue;
+      ++reachable;
+      correct += static_cast<mac::FloodingBfs*>(nodes[v].get())->distance() ==
+                 oracle[v];
+    }
+    std::printf("flooding over SINR TDMA: %s\n", sim.summary().c_str());
+    std::printf("%zu/%zu reachable nodes at oracle distance\n", correct,
+                reachable);
+    return correct == reachable ? 0 : 1;
+  }
+  if (algorithm == "luby") {
+    auto nodes = mac::instantiate(g, [](graph::NodeId v, const auto&) {
+      return std::make_unique<mac::LubyMis>(v, 424242);
+    });
+    const auto sim = mac::run_over_sinr_tdma(g, phys, schedule, nodes, 1000);
+    std::size_t mis = 0;
+    for (const auto& node : nodes) {
+      mis += static_cast<mac::LubyMis*>(node.get())->in_mis();
+    }
+    std::printf("luby-mis over SINR TDMA: %s\n", sim.summary().c_str());
+    std::printf("MIS size: %zu\n", mis);
+    return sim.all_terminated ? 0 : 1;
+  }
+  std::fprintf(stderr, "unknown --algorithm=%s (flooding|luby)\n",
+               algorithm.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const common::Cli cli(argc - 1, argv + 1);
+  if (command == "params") return cmd_params(cli);
+  if (command == "color") return cmd_color(cli);
+  if (command == "mac") return cmd_mac(cli);
+  if (command == "simulate") return cmd_simulate(cli);
+  usage();
+}
