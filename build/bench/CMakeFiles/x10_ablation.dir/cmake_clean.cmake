@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x10_ablation.dir/x10_ablation.cpp.o"
+  "CMakeFiles/x10_ablation.dir/x10_ablation.cpp.o.d"
+  "x10_ablation"
+  "x10_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x10_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x11_knowledge.dir/x11_knowledge.cpp.o"
+  "CMakeFiles/x11_knowledge.dir/x11_knowledge.cpp.o.d"
+  "x11_knowledge"
+  "x11_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x11_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

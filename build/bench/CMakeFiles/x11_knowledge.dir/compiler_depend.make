@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for x11_knowledge.
+# This may be replaced when dependencies are built.

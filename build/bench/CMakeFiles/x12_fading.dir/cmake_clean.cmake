@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x12_fading.dir/x12_fading.cpp.o"
+  "CMakeFiles/x12_fading.dir/x12_fading.cpp.o.d"
+  "x12_fading"
+  "x12_fading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x12_fading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

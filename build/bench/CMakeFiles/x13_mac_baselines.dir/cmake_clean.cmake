@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x13_mac_baselines.dir/x13_mac_baselines.cpp.o"
+  "CMakeFiles/x13_mac_baselines.dir/x13_mac_baselines.cpp.o.d"
+  "x13_mac_baselines"
+  "x13_mac_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x13_mac_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for x13_mac_baselines.
+# This may be replaced when dependencies are built.

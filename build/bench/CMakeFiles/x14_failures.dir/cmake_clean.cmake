@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x14_failures.dir/x14_failures.cpp.o"
+  "CMakeFiles/x14_failures.dir/x14_failures.cpp.o.d"
+  "x14_failures"
+  "x14_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x14_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

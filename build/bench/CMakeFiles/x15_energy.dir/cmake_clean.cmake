@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x15_energy.dir/x15_energy.cpp.o"
+  "CMakeFiles/x15_energy.dir/x15_energy.cpp.o.d"
+  "x15_energy"
+  "x15_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x15_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x16_adaptive.dir/x16_adaptive.cpp.o"
+  "CMakeFiles/x16_adaptive.dir/x16_adaptive.cpp.o.d"
+  "x16_adaptive"
+  "x16_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x16_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

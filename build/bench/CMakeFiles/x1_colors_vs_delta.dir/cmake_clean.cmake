@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x1_colors_vs_delta.dir/x1_colors_vs_delta.cpp.o"
+  "CMakeFiles/x1_colors_vs_delta.dir/x1_colors_vs_delta.cpp.o.d"
+  "x1_colors_vs_delta"
+  "x1_colors_vs_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x1_colors_vs_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for x1_colors_vs_delta.
+# This may be replaced when dependencies are built.

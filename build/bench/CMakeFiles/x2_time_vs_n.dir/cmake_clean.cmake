@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x2_time_vs_n.dir/x2_time_vs_n.cpp.o"
+  "CMakeFiles/x2_time_vs_n.dir/x2_time_vs_n.cpp.o.d"
+  "x2_time_vs_n"
+  "x2_time_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x2_time_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

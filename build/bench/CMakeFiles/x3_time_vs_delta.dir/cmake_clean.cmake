@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x3_time_vs_delta.dir/x3_time_vs_delta.cpp.o"
+  "CMakeFiles/x3_time_vs_delta.dir/x3_time_vs_delta.cpp.o.d"
+  "x3_time_vs_delta"
+  "x3_time_vs_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x3_time_vs_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x4_independence.dir/x4_independence.cpp.o"
+  "CMakeFiles/x4_independence.dir/x4_independence.cpp.o.d"
+  "x4_independence"
+  "x4_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x4_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x5_interference_bound.dir/x5_interference_bound.cpp.o"
+  "CMakeFiles/x5_interference_bound.dir/x5_interference_bound.cpp.o.d"
+  "x5_interference_bound"
+  "x5_interference_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x5_interference_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x6_tdma_mac.dir/x6_tdma_mac.cpp.o"
+  "CMakeFiles/x6_tdma_mac.dir/x6_tdma_mac.cpp.o.d"
+  "x6_tdma_mac"
+  "x6_tdma_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x6_tdma_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

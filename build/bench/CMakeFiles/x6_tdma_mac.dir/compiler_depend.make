@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for x6_tdma_mac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for x6_tdma_mac.
+# This may be replaced when dependencies are built.

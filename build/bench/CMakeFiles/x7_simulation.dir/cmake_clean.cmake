@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x7_simulation.dir/x7_simulation.cpp.o"
+  "CMakeFiles/x7_simulation.dir/x7_simulation.cpp.o.d"
+  "x7_simulation"
+  "x7_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x7_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x8_palette_reduction.dir/x8_palette_reduction.cpp.o"
+  "CMakeFiles/x8_palette_reduction.dir/x8_palette_reduction.cpp.o.d"
+  "x8_palette_reduction"
+  "x8_palette_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x8_palette_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x9_model_comparison.dir/x9_model_comparison.cpp.o"
+  "CMakeFiles/x9_model_comparison.dir/x9_model_comparison.cpp.o.d"
+  "x9_model_comparison"
+  "x9_model_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x9_model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

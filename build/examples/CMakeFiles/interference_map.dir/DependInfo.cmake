@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/interference_map.cpp" "examples/CMakeFiles/interference_map.dir/interference_map.cpp.o" "gcc" "examples/CMakeFiles/interference_map.dir/interference_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinrcolor_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_sinr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_map.dir/interference_map.cpp.o"
+  "CMakeFiles/interference_map.dir/interference_map.cpp.o.d"
+  "interference_map"
+  "interference_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_timeline.dir/protocol_timeline.cpp.o"
+  "CMakeFiles/protocol_timeline.dir/protocol_timeline.cpp.o.d"
+  "protocol_timeline"
+  "protocol_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_network_init.dir/sensor_network_init.cpp.o"
+  "CMakeFiles/sensor_network_init.dir/sensor_network_init.cpp.o.d"
+  "sensor_network_init"
+  "sensor_network_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_network_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdma_mac.dir/tdma_mac.cpp.o"
+  "CMakeFiles/tdma_mac.dir/tdma_mac.cpp.o.d"
+  "tdma_mac"
+  "tdma_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdma_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/aloha.cpp" "src/CMakeFiles/sinrcolor_baseline.dir/baseline/aloha.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_baseline.dir/baseline/aloha.cpp.o.d"
+  "/root/repo/src/baseline/greedy_coloring.cpp" "src/CMakeFiles/sinrcolor_baseline.dir/baseline/greedy_coloring.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_baseline.dir/baseline/greedy_coloring.cpp.o.d"
+  "/root/repo/src/baseline/local_broadcast.cpp" "src/CMakeFiles/sinrcolor_baseline.dir/baseline/local_broadcast.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_baseline.dir/baseline/local_broadcast.cpp.o.d"
+  "/root/repo/src/baseline/mw_graph_model.cpp" "src/CMakeFiles/sinrcolor_baseline.dir/baseline/mw_graph_model.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_baseline.dir/baseline/mw_graph_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinrcolor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_sinr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

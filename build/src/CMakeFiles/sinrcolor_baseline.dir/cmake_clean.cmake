@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinrcolor_baseline.dir/baseline/aloha.cpp.o"
+  "CMakeFiles/sinrcolor_baseline.dir/baseline/aloha.cpp.o.d"
+  "CMakeFiles/sinrcolor_baseline.dir/baseline/greedy_coloring.cpp.o"
+  "CMakeFiles/sinrcolor_baseline.dir/baseline/greedy_coloring.cpp.o.d"
+  "CMakeFiles/sinrcolor_baseline.dir/baseline/local_broadcast.cpp.o"
+  "CMakeFiles/sinrcolor_baseline.dir/baseline/local_broadcast.cpp.o.d"
+  "CMakeFiles/sinrcolor_baseline.dir/baseline/mw_graph_model.cpp.o"
+  "CMakeFiles/sinrcolor_baseline.dir/baseline/mw_graph_model.cpp.o.d"
+  "libsinrcolor_baseline.a"
+  "libsinrcolor_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinrcolor_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinrcolor_common.dir/common/cli.cpp.o"
+  "CMakeFiles/sinrcolor_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/sinrcolor_common.dir/common/csv.cpp.o"
+  "CMakeFiles/sinrcolor_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/sinrcolor_common.dir/common/json.cpp.o"
+  "CMakeFiles/sinrcolor_common.dir/common/json.cpp.o.d"
+  "CMakeFiles/sinrcolor_common.dir/common/rng.cpp.o"
+  "CMakeFiles/sinrcolor_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/sinrcolor_common.dir/common/stats.cpp.o"
+  "CMakeFiles/sinrcolor_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/sinrcolor_common.dir/common/table.cpp.o"
+  "CMakeFiles/sinrcolor_common.dir/common/table.cpp.o.d"
+  "libsinrcolor_common.a"
+  "libsinrcolor_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinrcolor_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/CMakeFiles/sinrcolor_core.dir/core/adaptive.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_core.dir/core/adaptive.cpp.o.d"
+  "/root/repo/src/core/mw_node.cpp" "src/CMakeFiles/sinrcolor_core.dir/core/mw_node.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_core.dir/core/mw_node.cpp.o.d"
+  "/root/repo/src/core/mw_params.cpp" "src/CMakeFiles/sinrcolor_core.dir/core/mw_params.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_core.dir/core/mw_params.cpp.o.d"
+  "/root/repo/src/core/mw_protocol.cpp" "src/CMakeFiles/sinrcolor_core.dir/core/mw_protocol.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_core.dir/core/mw_protocol.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/sinrcolor_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/CMakeFiles/sinrcolor_core.dir/core/timeline.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_core.dir/core/timeline.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/CMakeFiles/sinrcolor_core.dir/core/verify.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_core.dir/core/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinrcolor_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_sinr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

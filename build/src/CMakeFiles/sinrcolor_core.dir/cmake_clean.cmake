@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinrcolor_core.dir/core/adaptive.cpp.o"
+  "CMakeFiles/sinrcolor_core.dir/core/adaptive.cpp.o.d"
+  "CMakeFiles/sinrcolor_core.dir/core/mw_node.cpp.o"
+  "CMakeFiles/sinrcolor_core.dir/core/mw_node.cpp.o.d"
+  "CMakeFiles/sinrcolor_core.dir/core/mw_params.cpp.o"
+  "CMakeFiles/sinrcolor_core.dir/core/mw_params.cpp.o.d"
+  "CMakeFiles/sinrcolor_core.dir/core/mw_protocol.cpp.o"
+  "CMakeFiles/sinrcolor_core.dir/core/mw_protocol.cpp.o.d"
+  "CMakeFiles/sinrcolor_core.dir/core/report.cpp.o"
+  "CMakeFiles/sinrcolor_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/sinrcolor_core.dir/core/timeline.cpp.o"
+  "CMakeFiles/sinrcolor_core.dir/core/timeline.cpp.o.d"
+  "CMakeFiles/sinrcolor_core.dir/core/verify.cpp.o"
+  "CMakeFiles/sinrcolor_core.dir/core/verify.cpp.o.d"
+  "libsinrcolor_core.a"
+  "libsinrcolor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinrcolor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinrcolor_geometry.dir/geometry/deployment.cpp.o"
+  "CMakeFiles/sinrcolor_geometry.dir/geometry/deployment.cpp.o.d"
+  "CMakeFiles/sinrcolor_geometry.dir/geometry/grid_index.cpp.o"
+  "CMakeFiles/sinrcolor_geometry.dir/geometry/grid_index.cpp.o.d"
+  "libsinrcolor_geometry.a"
+  "libsinrcolor_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinrcolor_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/coloring.cpp" "src/CMakeFiles/sinrcolor_graph.dir/graph/coloring.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_graph.dir/graph/coloring.cpp.o.d"
+  "/root/repo/src/graph/graph_algos.cpp" "src/CMakeFiles/sinrcolor_graph.dir/graph/graph_algos.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_graph.dir/graph/graph_algos.cpp.o.d"
+  "/root/repo/src/graph/independent_set.cpp" "src/CMakeFiles/sinrcolor_graph.dir/graph/independent_set.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_graph.dir/graph/independent_set.cpp.o.d"
+  "/root/repo/src/graph/packing.cpp" "src/CMakeFiles/sinrcolor_graph.dir/graph/packing.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_graph.dir/graph/packing.cpp.o.d"
+  "/root/repo/src/graph/unit_disk_graph.cpp" "src/CMakeFiles/sinrcolor_graph.dir/graph/unit_disk_graph.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_graph.dir/graph/unit_disk_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinrcolor_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinrcolor_graph.dir/graph/coloring.cpp.o"
+  "CMakeFiles/sinrcolor_graph.dir/graph/coloring.cpp.o.d"
+  "CMakeFiles/sinrcolor_graph.dir/graph/graph_algos.cpp.o"
+  "CMakeFiles/sinrcolor_graph.dir/graph/graph_algos.cpp.o.d"
+  "CMakeFiles/sinrcolor_graph.dir/graph/independent_set.cpp.o"
+  "CMakeFiles/sinrcolor_graph.dir/graph/independent_set.cpp.o.d"
+  "CMakeFiles/sinrcolor_graph.dir/graph/packing.cpp.o"
+  "CMakeFiles/sinrcolor_graph.dir/graph/packing.cpp.o.d"
+  "CMakeFiles/sinrcolor_graph.dir/graph/unit_disk_graph.cpp.o"
+  "CMakeFiles/sinrcolor_graph.dir/graph/unit_disk_graph.cpp.o.d"
+  "libsinrcolor_graph.a"
+  "libsinrcolor_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinrcolor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/algorithms.cpp" "src/CMakeFiles/sinrcolor_mac.dir/mac/algorithms.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_mac.dir/mac/algorithms.cpp.o.d"
+  "/root/repo/src/mac/distance_d.cpp" "src/CMakeFiles/sinrcolor_mac.dir/mac/distance_d.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_mac.dir/mac/distance_d.cpp.o.d"
+  "/root/repo/src/mac/link_scheduler.cpp" "src/CMakeFiles/sinrcolor_mac.dir/mac/link_scheduler.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_mac.dir/mac/link_scheduler.cpp.o.d"
+  "/root/repo/src/mac/message_passing.cpp" "src/CMakeFiles/sinrcolor_mac.dir/mac/message_passing.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_mac.dir/mac/message_passing.cpp.o.d"
+  "/root/repo/src/mac/palette_reduction.cpp" "src/CMakeFiles/sinrcolor_mac.dir/mac/palette_reduction.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_mac.dir/mac/palette_reduction.cpp.o.d"
+  "/root/repo/src/mac/simulation.cpp" "src/CMakeFiles/sinrcolor_mac.dir/mac/simulation.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_mac.dir/mac/simulation.cpp.o.d"
+  "/root/repo/src/mac/tdma.cpp" "src/CMakeFiles/sinrcolor_mac.dir/mac/tdma.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_mac.dir/mac/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinrcolor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_sinr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinrcolor_mac.dir/mac/algorithms.cpp.o"
+  "CMakeFiles/sinrcolor_mac.dir/mac/algorithms.cpp.o.d"
+  "CMakeFiles/sinrcolor_mac.dir/mac/distance_d.cpp.o"
+  "CMakeFiles/sinrcolor_mac.dir/mac/distance_d.cpp.o.d"
+  "CMakeFiles/sinrcolor_mac.dir/mac/link_scheduler.cpp.o"
+  "CMakeFiles/sinrcolor_mac.dir/mac/link_scheduler.cpp.o.d"
+  "CMakeFiles/sinrcolor_mac.dir/mac/message_passing.cpp.o"
+  "CMakeFiles/sinrcolor_mac.dir/mac/message_passing.cpp.o.d"
+  "CMakeFiles/sinrcolor_mac.dir/mac/palette_reduction.cpp.o"
+  "CMakeFiles/sinrcolor_mac.dir/mac/palette_reduction.cpp.o.d"
+  "CMakeFiles/sinrcolor_mac.dir/mac/simulation.cpp.o"
+  "CMakeFiles/sinrcolor_mac.dir/mac/simulation.cpp.o.d"
+  "CMakeFiles/sinrcolor_mac.dir/mac/tdma.cpp.o"
+  "CMakeFiles/sinrcolor_mac.dir/mac/tdma.cpp.o.d"
+  "libsinrcolor_mac.a"
+  "libsinrcolor_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinrcolor_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/interference_model.cpp" "src/CMakeFiles/sinrcolor_radio.dir/radio/interference_model.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_radio.dir/radio/interference_model.cpp.o.d"
+  "/root/repo/src/radio/simulator.cpp" "src/CMakeFiles/sinrcolor_radio.dir/radio/simulator.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_radio.dir/radio/simulator.cpp.o.d"
+  "/root/repo/src/radio/trace.cpp" "src/CMakeFiles/sinrcolor_radio.dir/radio/trace.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_radio.dir/radio/trace.cpp.o.d"
+  "/root/repo/src/radio/wakeup.cpp" "src/CMakeFiles/sinrcolor_radio.dir/radio/wakeup.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_radio.dir/radio/wakeup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinrcolor_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_sinr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinrcolor_radio.dir/radio/interference_model.cpp.o"
+  "CMakeFiles/sinrcolor_radio.dir/radio/interference_model.cpp.o.d"
+  "CMakeFiles/sinrcolor_radio.dir/radio/simulator.cpp.o"
+  "CMakeFiles/sinrcolor_radio.dir/radio/simulator.cpp.o.d"
+  "CMakeFiles/sinrcolor_radio.dir/radio/trace.cpp.o"
+  "CMakeFiles/sinrcolor_radio.dir/radio/trace.cpp.o.d"
+  "CMakeFiles/sinrcolor_radio.dir/radio/wakeup.cpp.o"
+  "CMakeFiles/sinrcolor_radio.dir/radio/wakeup.cpp.o.d"
+  "libsinrcolor_radio.a"
+  "libsinrcolor_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinrcolor_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sinr/fading.cpp" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/fading.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/fading.cpp.o.d"
+  "/root/repo/src/sinr/medium_field.cpp" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/medium_field.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/medium_field.cpp.o.d"
+  "/root/repo/src/sinr/params.cpp" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/params.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/params.cpp.o.d"
+  "/root/repo/src/sinr/probes.cpp" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/probes.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/probes.cpp.o.d"
+  "/root/repo/src/sinr/reception.cpp" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/reception.cpp.o" "gcc" "src/CMakeFiles/sinrcolor_sinr.dir/sinr/reception.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sinrcolor_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sinrcolor_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

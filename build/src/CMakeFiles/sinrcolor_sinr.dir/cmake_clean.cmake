@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/fading.cpp.o"
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/fading.cpp.o.d"
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/medium_field.cpp.o"
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/medium_field.cpp.o.d"
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/params.cpp.o"
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/params.cpp.o.d"
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/probes.cpp.o"
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/probes.cpp.o.d"
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/reception.cpp.o"
+  "CMakeFiles/sinrcolor_sinr.dir/sinr/reception.cpp.o.d"
+  "libsinrcolor_sinr.a"
+  "libsinrcolor_sinr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinrcolor_sinr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsinrcolor_sinr.a"
+)

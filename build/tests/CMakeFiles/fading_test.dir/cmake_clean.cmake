@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fading_test.dir/fading_test.cpp.o"
+  "CMakeFiles/fading_test.dir/fading_test.cpp.o.d"
+  "fading_test"
+  "fading_test.pdb"
+  "fading_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fading_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_model_test.dir/general_model_test.cpp.o"
+  "CMakeFiles/general_model_test.dir/general_model_test.cpp.o.d"
+  "general_model_test"
+  "general_model_test.pdb"
+  "general_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_node_test.dir/mw_node_test.cpp.o"
+  "CMakeFiles/mw_node_test.dir/mw_node_test.cpp.o.d"
+  "mw_node_test"
+  "mw_node_test.pdb"
+  "mw_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinr_test.dir/sinr_test.cpp.o"
+  "CMakeFiles/sinr_test.dir/sinr_test.cpp.o.d"
+  "sinr_test"
+  "sinr_test.pdb"
+  "sinr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem3_grid_test.dir/theorem3_grid_test.cpp.o"
+  "CMakeFiles/theorem3_grid_test.dir/theorem3_grid_test.cpp.o.d"
+  "theorem3_grid_test"
+  "theorem3_grid_test.pdb"
+  "theorem3_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem3_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/sinr_test[1]_include.cmake")
+include("/root/repo/build/tests/radio_test[1]_include.cmake")
+include("/root/repo/build/tests/core_params_test[1]_include.cmake")
+include("/root/repo/build/tests/core_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/mw_node_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/lemma4_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_test[1]_include.cmake")
+include("/root/repo/build/tests/theorem3_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/general_model_test[1]_include.cmake")
+include("/root/repo/build/tests/fading_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinrcolor_cli.dir/sinrcolor_cli.cpp.o"
+  "CMakeFiles/sinrcolor_cli.dir/sinrcolor_cli.cpp.o.d"
+  "sinrcolor_cli"
+  "sinrcolor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinrcolor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
