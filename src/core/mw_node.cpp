@@ -242,6 +242,26 @@ void MwNode::on_receive(radio::Slot slot, const radio::Message& msg) {
 
 void MwNode::end_slot(radio::Slot /*slot*/) {}
 
+void MwNode::restart_election() {
+  SINRCOLOR_CHECK_MSG(state_ != MwStateKind::kAsleep,
+                      "restart_election on a sleeping node");
+  leader_ = graph::kInvalidNode;
+  request_queue_.clear();
+  serving_ = false;
+  enter_class(0);
+}
+
+std::size_t MwNode::prune_competitors_older_than(radio::Slot now,
+                                                 radio::Slot max_age) {
+  const auto stale = [&](const Competitor& c) {
+    return now - c.recorded_slot > max_age;
+  };
+  const auto it = std::remove_if(competitors_.begin(), competitors_.end(), stale);
+  const auto pruned = static_cast<std::size_t>(competitors_.end() - it);
+  competitors_.erase(it, competitors_.end());
+  return pruned;
+}
+
 graph::Color MwNode::final_color() const {
   if (state_ == MwStateKind::kLeader) return 0;
   if (state_ == MwStateKind::kColored) return color_class_;

@@ -66,6 +66,16 @@ class MwNode final : public radio::Protocol {
   /// Number of counter resets performed (Fig. 1 line 15 / line 6 re-entries).
   std::uint64_t reset_count() const { return resets_; }
 
+  // --- robustness hooks (src/robust; beyond the paper's model) ---
+  /// Abandons the current attempt and re-enters leader election from A_0
+  /// with no recorded leader. Called by the self-healing layer when this
+  /// node's leader is suspected dead. Requires an awake node.
+  void restart_election();
+  /// Drops competitors whose last M_A is older than `max_age` slots — a
+  /// crashed competitor's mirrored counter would otherwise advance forever
+  /// and keep depressing χ(P_v). Returns the number pruned.
+  std::size_t prune_competitors_older_than(radio::Slot now, radio::Slot max_age);
+
  private:
   // d_v(w) advances by exactly one per slot (Fig. 1 lines 3/9), so instead of
   // touching every mirror every slot we store the received counter and its

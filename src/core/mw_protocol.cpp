@@ -9,11 +9,7 @@
 #include "radio/wakeup.h"
 
 namespace sinrcolor::core {
-namespace {
 
-// The run's physical layer: α, β, ρ from the config's template, with the
-// noise floor solved so that R_T equals the graph's radius (the UDG must be
-// the physical reachability graph).
 sinr::SinrParams resolve_phys(const graph::UnitDiskGraph& g,
                               const MwRunConfig& config) {
   sinr::SinrParams phys = config.phys_template;
@@ -25,7 +21,8 @@ sinr::SinrParams resolve_phys(const graph::UnitDiskGraph& g,
   return phys;
 }
 
-MwParams derive_params(const graph::UnitDiskGraph& g, const MwRunConfig& config) {
+MwParams derive_mw_params(const graph::UnitDiskGraph& g,
+                          const MwRunConfig& config) {
   if (config.params_override.has_value()) return *config.params_override;
   MwConfig mw;
   mw.n = config.n_estimate > 0 ? config.n_estimate : g.size();
@@ -40,13 +37,26 @@ MwParams derive_params(const graph::UnitDiskGraph& g, const MwRunConfig& config)
              : MwParams::practical(mw, config.tuning);
 }
 
-radio::WakeupSchedule make_wakeups(std::size_t n, const MwRunConfig& config,
-                                   std::uint64_t seed) {
+std::unique_ptr<radio::InterferenceModel> make_interference_model(
+    const graph::UnitDiskGraph& g, const MwRunConfig& config) {
+  if (config.graph_model) {
+    return std::make_unique<radio::GraphInterferenceModel>(g);
+  }
+  const sinr::SinrParams phys = resolve_phys(g, config);
+  if (config.fading.enabled()) {
+    return std::make_unique<radio::FadingSinrInterferenceModel>(g, phys,
+                                                                config.fading);
+  }
+  return std::make_unique<radio::SinrInterferenceModel>(g, phys);
+}
+
+radio::WakeupSchedule make_wakeup_schedule(std::size_t n,
+                                           const MwRunConfig& config) {
   switch (config.wakeup) {
     case WakeupKind::kSimultaneous:
       return radio::simultaneous_wakeup(n);
     case WakeupKind::kUniform: {
-      common::Rng rng(common::derive_seed(seed, 0xbeefULL));
+      common::Rng rng(common::derive_seed(config.seed, 0xbeefULL));
       return radio::uniform_wakeup(n, config.wakeup_window, rng);
     }
     case WakeupKind::kStaggered:
@@ -55,40 +65,38 @@ radio::WakeupSchedule make_wakeups(std::size_t n, const MwRunConfig& config,
   return radio::simultaneous_wakeup(n);
 }
 
-}  // namespace
+std::vector<graph::NodeId> schedule_random_failures(
+    radio::Simulator& sim, const MwRunConfig& config,
+    const std::vector<bool>* exclude) {
+  std::vector<graph::NodeId> scheduled;
+  if (config.failure_fraction <= 0.0) return scheduled;
+  SINRCOLOR_CHECK(config.failure_fraction <= 1.0);
+  const std::size_t n = sim.graph().size();
+  common::Rng rng(common::derive_seed(config.seed, 0xdeadULL));
+  std::vector<graph::NodeId> victims(n);
+  for (graph::NodeId v = 0; v < n; ++v) victims[v] = v;
+  common::shuffle(victims, rng);
+  const auto kills = static_cast<std::size_t>(
+      std::ceil(config.failure_fraction * static_cast<double>(n)));
+  for (std::size_t k = 0; k < kills && k < victims.size(); ++k) {
+    // Draw the slot even for excluded victims so the failure pattern of the
+    // non-excluded nodes matches a run without exclusions (seeded replays).
+    const radio::Slot slot = rng.uniform_int(
+        0, std::max<radio::Slot>(config.failure_window, 0));
+    if (exclude != nullptr && (*exclude)[victims[k]]) continue;
+    sim.set_failure_slot(victims[k], slot);
+    scheduled.push_back(victims[k]);
+  }
+  return scheduled;
+}
 
 MwInstance::MwInstance(const graph::UnitDiskGraph& g, const MwRunConfig& config)
-    : graph_(g), config_(config), params_(derive_params(g, config)) {
-  std::unique_ptr<radio::InterferenceModel> model;
-  if (config_.graph_model) {
-    model = std::make_unique<radio::GraphInterferenceModel>(graph_);
-  } else {
-    const sinr::SinrParams phys = resolve_phys(graph_, config_);
-    if (config_.fading.enabled()) {
-      model = std::make_unique<radio::FadingSinrInterferenceModel>(
-          graph_, phys, config_.fading);
-    } else {
-      model = std::make_unique<radio::SinrInterferenceModel>(graph_, phys);
-    }
-  }
+    : graph_(g), config_(config), params_(derive_mw_params(g, config)) {
   simulator_ = std::make_unique<radio::Simulator>(
-      graph_, std::move(model), make_wakeups(g.size(), config_, config_.seed),
-      config_.seed);
+      graph_, make_interference_model(graph_, config_),
+      make_wakeup_schedule(g.size(), config_), config_.seed);
 
-  if (config_.failure_fraction > 0.0) {
-    SINRCOLOR_CHECK(config_.failure_fraction <= 1.0);
-    common::Rng rng(common::derive_seed(config_.seed, 0xdeadULL));
-    std::vector<graph::NodeId> victims(g.size());
-    for (graph::NodeId v = 0; v < g.size(); ++v) victims[v] = v;
-    common::shuffle(victims, rng);
-    const auto kills = static_cast<std::size_t>(
-        std::ceil(config_.failure_fraction * static_cast<double>(g.size())));
-    for (std::size_t k = 0; k < kills && k < victims.size(); ++k) {
-      simulator_->set_failure_slot(
-          victims[k], rng.uniform_int(0, std::max<radio::Slot>(
-                                             config_.failure_window, 0)));
-    }
-  }
+  schedule_random_failures(*simulator_, config_);
 
   nodes_.reserve(g.size());
   for (graph::NodeId v = 0; v < g.size(); ++v) {

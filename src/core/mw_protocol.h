@@ -15,6 +15,7 @@
 
 #include "core/mw_node.h"
 #include "core/mw_params.h"
+#include "core/recovery_types.h"
 #include "graph/coloring.h"
 #include "radio/simulator.h"
 #include "sinr/fading.h"
@@ -67,6 +68,11 @@ struct MwRunConfig {
   /// parameters (ablation experiments that break individual relations on
   /// purpose, e.g. constant q_s instead of q_ℓ/Δ).
   std::optional<MwParams> params_override;
+  /// Self-healing layer: failure detection + leader failover + dynamic
+  /// joins. MwInstance itself IGNORES these knobs (the plain paper protocol
+  /// has no recovery); run the config through robust::run_recovering_mw to
+  /// honour them. They live here so every harness configures one struct.
+  RecoveryOptions recovery;
 };
 
 struct MwRunResult {
@@ -80,6 +86,8 @@ struct MwRunResult {
   bool coloring_valid = false;
   std::size_t palette = 0;           ///< distinct colors used
   graph::Color max_color = graph::kUncolored;
+  /// Self-healing metrics; all zero unless the robust driver produced this.
+  RecoveryStats recovery;
 
   std::string summary() const;
 };
@@ -108,5 +116,32 @@ class MwInstance {
 /// Convenience wrapper: build an MwInstance and run it.
 MwRunResult run_mw_coloring(const graph::UnitDiskGraph& g,
                             const MwRunConfig& config = {});
+
+// --- building blocks shared with the robust recovery driver ---
+
+/// The run's physical layer: α, β, ρ from the config's template with the
+/// noise floor re-solved so R_T equals the graph's radius.
+sinr::SinrParams resolve_phys(const graph::UnitDiskGraph& g,
+                              const MwRunConfig& config);
+
+/// Protocol parameters for the instance (profile / estimates / override).
+MwParams derive_mw_params(const graph::UnitDiskGraph& g,
+                          const MwRunConfig& config);
+
+/// The interference medium the config selects (SINR, SINR+fading, or graph).
+std::unique_ptr<radio::InterferenceModel> make_interference_model(
+    const graph::UnitDiskGraph& g, const MwRunConfig& config);
+
+/// The wake-up schedule the config selects.
+radio::WakeupSchedule make_wakeup_schedule(std::size_t n,
+                                           const MwRunConfig& config);
+
+/// Applies failure_fraction / failure_window to the simulator: ⌈fraction·n⌉
+/// random nodes die at a uniform slot in [0, failure_window]. Nodes with
+/// `exclude[v]` set are skipped (they still count toward the quota base).
+/// Returns the victims actually scheduled.
+std::vector<graph::NodeId> schedule_random_failures(
+    radio::Simulator& sim, const MwRunConfig& config,
+    const std::vector<bool>* exclude = nullptr);
 
 }  // namespace sinrcolor::core

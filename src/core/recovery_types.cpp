@@ -1,0 +1,31 @@
+#include "core/recovery_types.h"
+
+#include <cstdio>
+
+namespace sinrcolor::core {
+
+std::string RecoveryOptions::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "RecoveryOptions{enabled=%s, timeout=%lld, backoff=%.2g, "
+                "max_failovers=%zu, join_frac=%.3g, join_at=%lld, "
+                "join_window=%lld}",
+                enabled ? "yes" : "no",
+                static_cast<long long>(suspect_timeout), backoff, max_failovers,
+                join_fraction, static_cast<long long>(join_at),
+                static_cast<long long>(join_window));
+  return buf;
+}
+
+std::string RecoveryStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "failovers=%zu recovered=%zu joined=%zu conflicts_repaired=%zu "
+                "join_fallbacks=%zu failover_latency=%.1f/%lld",
+                failovers, recovered_nodes, joined_nodes,
+                join_conflicts_repaired, join_fallbacks, mean_failover_latency,
+                static_cast<long long>(max_failover_latency));
+  return buf;
+}
+
+}  // namespace sinrcolor::core

@@ -1,0 +1,73 @@
+// Knobs and metrics of the self-healing layer (implemented in src/robust).
+//
+// These are plain data carried by core::MwRunConfig / core::MwRunResult so
+// that experiments and the CLI configure recovery the same way they configure
+// failures or fading; the state machines consuming them live one layer up in
+// robust::SelfHealingNode / robust::RecoveryInstance. All of this is beyond
+// the paper's clean model (reliable, static nodes) — see docs/MODEL.md,
+// "Failure and churn model".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "radio/message.h"
+
+namespace sinrcolor::core {
+
+struct RecoveryOptions {
+  /// Master switch for the failure detector + leader failover. Joins are
+  /// scheduled independently via join_fraction.
+  bool enabled = false;
+
+  /// Slots of leader silence a requester tolerates before suspecting its
+  /// leader dead and re-entering leader election. 0 ⇒ derived from the run's
+  /// MwParams as (Δ+1)·assign_slots + 2·window⁺ — above the worst legitimate
+  /// wait (a leader serving every other cluster member first) w.h.p.
+  radio::Slot suspect_timeout = 0;
+  /// The timeout multiplies by this after every failover (exponential
+  /// backoff), so repeated suspicion under heavy contention self-throttles.
+  double backoff = 2.0;
+  /// A node stops failing over after this many attempts (it then stalls and
+  /// is reported like an unrecovered orphan).
+  std::size_t max_failovers = 10;
+
+  /// Fraction of nodes held back as late arrivals; ⌈fraction·n⌉ random nodes
+  /// join at a uniform slot in [join_at, join_at + join_window]. 0 disables.
+  double join_fraction = 0.0;
+  radio::Slot join_at = 0;
+  radio::Slot join_window = 0;
+  /// Slots a joiner listens for color beacons before picking a locally free
+  /// color. 0 ⇒ 2·window⁺ (long enough to hear every q_s-beaconing neighbor
+  /// w.h.p.). If the listen phase overhears competition or request traffic,
+  /// the neighborhood has not converged and the joiner falls back to the
+  /// full MW protocol instead.
+  radio::Slot join_listen_slots = 0;
+  /// Slots a joiner beacons its tentative color while watching for
+  /// collisions before confirming it. 0 ⇒ window⁺.
+  radio::Slot join_confirm_slots = 0;
+
+  std::string to_string() const;
+};
+
+struct RecoveryStats {
+  /// Leader-suspect events fired (a node may fail over more than once).
+  std::size_t failovers = 0;
+  /// Nodes that decided after at least one failover — X14's would-be stalls.
+  std::size_t recovered_nodes = 0;
+  /// Dynamic-join events fired (RunMetrics::joined_nodes, copied here).
+  std::size_t joined_nodes = 0;
+  /// Tentative-color collisions a joiner detected and repaired locally.
+  std::size_t join_conflicts_repaired = 0;
+  /// Joiners that overheard an unconverged neighborhood and ran the full MW
+  /// protocol instead of the fast listen-and-pick path.
+  std::size_t join_fallbacks = 0;
+  /// Slots between a node's FIRST failover and its eventual decision.
+  double mean_failover_latency = 0.0;
+  radio::Slot max_failover_latency = 0;
+
+  std::string summary() const;
+};
+
+}  // namespace sinrcolor::core

@@ -53,6 +53,8 @@ std::string to_json(const MwRunResult& result, bool include_per_node) {
              static_cast<std::uint64_t>(result.metrics.failed_nodes));
   json.field("stalled_nodes",
              static_cast<std::uint64_t>(result.metrics.stalled_nodes));
+  json.field("joined_nodes",
+             static_cast<std::uint64_t>(result.metrics.joined_nodes));
   json.field("max_decision_latency",
              static_cast<std::int64_t>(result.metrics.max_decision_latency()));
   json.field("mean_decision_latency", result.metrics.mean_decision_latency());
@@ -64,6 +66,22 @@ std::string to_json(const MwRunResult& result, bool include_per_node) {
   json.field("independence_violations",
              static_cast<std::uint64_t>(result.independence_violations));
   json.field("leader_count", static_cast<std::uint64_t>(result.leaders.size()));
+
+  json.key("recovery");
+  json.begin_object();
+  json.field("failovers", static_cast<std::uint64_t>(result.recovery.failovers));
+  json.field("recovered_nodes",
+             static_cast<std::uint64_t>(result.recovery.recovered_nodes));
+  json.field("joined_nodes",
+             static_cast<std::uint64_t>(result.recovery.joined_nodes));
+  json.field("join_conflicts_repaired",
+             static_cast<std::uint64_t>(result.recovery.join_conflicts_repaired));
+  json.field("join_fallbacks",
+             static_cast<std::uint64_t>(result.recovery.join_fallbacks));
+  json.field("mean_failover_latency", result.recovery.mean_failover_latency);
+  json.field("max_failover_latency",
+             static_cast<std::int64_t>(result.recovery.max_failover_latency));
+  json.end_object();
 
   if (include_per_node) {
     json.key("colors");

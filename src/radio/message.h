@@ -1,10 +1,12 @@
 // Wire messages of the MW protocol (paper, Figures 1–3).
 //
-// One POD covers the four message shapes:
+// One POD covers the five message shapes:
 //   M_A^i(v, c_v)      — competition message of a node in state A_i
 //   M_C^i(v)           — "I hold color i" beacon (leaders idle-beacon with i=0)
 //   M_C^0(v, w, tc)    — leader v assigns cluster color tc to node w
 //   M_R(v, L(v))       — color request from v to its leader
+//   M_J^i(v)           — tentative-color beacon of a late joiner (src/robust);
+//                        beyond the paper, used by the self-healing layer
 #pragma once
 
 #include <cstdint>
@@ -21,6 +23,7 @@ enum class MessageKind : std::uint8_t {
   kColorBeacon,  ///< M_C^i(v)
   kColorAssign,  ///< M_C^0(v, w, tc)
   kRequest,      ///< M_R(v, L(v))
+  kJoinBeacon,   ///< M_J^i(v): tentative color of a joiner, not yet confirmed
 };
 
 struct Message {
@@ -57,6 +60,8 @@ inline std::string Message::to_string() const {
              ", tc=" + std::to_string(tc) + ")";
     case MessageKind::kRequest:
       return "M_R(" + std::to_string(sender) + ", " + std::to_string(target) + ")";
+    case MessageKind::kJoinBeacon:
+      return "M_J^" + std::to_string(color_class) + "(" + std::to_string(sender) + ")";
   }
   return "M_?";
 }

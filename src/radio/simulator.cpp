@@ -13,6 +13,7 @@ Simulator::Simulator(const graph::UnitDiskGraph& graph,
   SINRCOLOR_CHECK(model_ != nullptr);
   SINRCOLOR_CHECK(wakeups_.size() == graph_.size());
   failure_slot_.assign(graph_.size(), -1);
+  join_slot_.assign(graph_.size(), -1);
   protocols_.resize(graph_.size());
   rngs_.reserve(graph_.size());
   for (std::size_t v = 0; v < graph_.size(); ++v) {
@@ -33,6 +34,13 @@ void Simulator::set_failure_slot(graph::NodeId v, Slot slot) {
   failure_slot_[v] = slot;
 }
 
+void Simulator::set_join_slot(graph::NodeId v, Slot slot) {
+  SINRCOLOR_CHECK(v < join_slot_.size());
+  SINRCOLOR_CHECK_MSG(!ran_, "joins must be scheduled before run()");
+  SINRCOLOR_CHECK(slot >= 0);
+  join_slot_[v] = slot;
+}
+
 RunMetrics Simulator::run(Slot max_slots) {
   SINRCOLOR_CHECK_MSG(!ran_, "Simulator::run may only be called once");
   ran_ = true;
@@ -44,6 +52,7 @@ RunMetrics Simulator::run(Slot max_slots) {
   RunMetrics metrics;
   metrics.wake_slot = wakeups_;
   metrics.decision_slot.assign(n, -1);
+  metrics.death_slot.assign(n, -1);
   metrics.tx_count.assign(n, 0);
   metrics.awake_slots.assign(n, 0);
 
@@ -53,25 +62,59 @@ RunMetrics Simulator::run(Slot max_slots) {
   std::vector<TxRecord> transmissions;
   std::vector<std::optional<Message>> deliveries(n);
   std::size_t undecided = n;
+  std::size_t joins_pending = 0;
+  // A join slot replaces the schedule entry unless the node must first live
+  // through an earlier failure (revival; see set_join_slot precedence).
+  std::vector<bool> schedule_suppressed(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (join_slot_[v] < 0) continue;
+    ++joins_pending;
+    schedule_suppressed[v] =
+        failure_slot_[v] < 0 || failure_slot_[v] >= join_slot_[v];
+  }
 
-  for (Slot slot = 0; slot < max_slots && undecided > 0; ++slot) {
+  for (Slot slot = 0; slot < max_slots && (undecided > 0 || joins_pending > 0);
+       ++slot) {
     metrics.slots_executed = slot + 1;
 
-    // 1. Failures, wake-ups and transmission decisions.
+    // 1. Failures, joins, wake-ups and transmission decisions.
     transmissions.clear();
     for (std::size_t v = 0; v < n; ++v) {
       if (!dead[v] && failure_slot_[v] == slot) {
         dead[v] = true;
+        metrics.death_slot[v] = slot;
         ++metrics.failed_nodes;
         // A dead node can no longer decide; stop waiting for it.
         if (metrics.decision_slot[v] < 0) --undecided;
+      }
+      if (join_slot_[v] == slot) {
+        --joins_pending;
+        ++metrics.joined_nodes;
+        if (dead[v]) {
+          // Revival: the node rejoins fresh. It leaves the failed count and
+          // any earlier decision is void, so it is counted exactly once in
+          // whichever of failed/stalled/decided it ends the run as. Its
+          // death decremented `undecided` (directly if it died undecided,
+          // via its decision otherwise), so the rejoin re-increments.
+          dead[v] = false;
+          metrics.death_slot[v] = -1;
+          --metrics.failed_nodes;
+          metrics.decision_slot[v] = -1;
+          ++undecided;
+        } else {
+          // A late arrival was never awake and still counts as undecided
+          // from initialization; nothing to rebalance.
+          SINRCOLOR_CHECK_MSG(!awake[v], "join slot hit an awake node");
+        }
+        awake[v] = true;
+        protocols_[v]->on_wake(slot);
       }
       if (dead[v]) {
         listening[v] = false;
         continue;
       }
       if (!awake[v]) {
-        if (wakeups_[v] == slot) {
+        if (wakeups_[v] == slot && !schedule_suppressed[v]) {
           awake[v] = true;
           protocols_[v]->on_wake(slot);
         } else {

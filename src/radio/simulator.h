@@ -45,6 +45,27 @@ class Simulator {
   /// in failed_nodes). Call before run().
   void set_failure_slot(graph::NodeId v, Slot slot);
 
+  /// Schedules a dynamic join: node v's radio turns on at `slot` and it
+  /// receives on_wake(slot) there (a late arrival into a possibly converged
+  /// network). run() does not terminate while joins are still pending, even
+  /// if every already-awake node has decided.
+  ///
+  /// Precedence vs. set_failure_slot and the wake-up schedule:
+  ///  * join only — the node's wake-up-schedule entry is IGNORED; it sleeps
+  ///    until the join slot (set_join_slot overrides the schedule).
+  ///  * join ≤ failure — the node wakes at the join slot and dies at the
+  ///    failure slot as usual.
+  ///  * failure < join — revival: the node wakes from its ORIGINAL schedule
+  ///    entry, dies at the failure slot, and rejoins at the join slot with a
+  ///    second on_wake (the protocol must tolerate re-waking; plain MwNode
+  ///    does not — use robust::SelfHealingNode). On revival the node leaves
+  ///    failed_nodes, any earlier decision is discarded, and it counts as
+  ///    undecided again, so it is never double-counted in failed_nodes or
+  ///    stalled_nodes. Within one slot the failure fires first, so
+  ///    join == failure means die-then-rejoin in that slot.
+  /// Call before run().
+  void set_join_slot(graph::NodeId v, Slot slot);
+
   void add_observer(SlotObserver observer) {
     observers_.push_back(std::move(observer));
   }
@@ -63,6 +84,7 @@ class Simulator {
   std::unique_ptr<InterferenceModel> model_;
   WakeupSchedule wakeups_;
   std::vector<Slot> failure_slot_;  ///< -1 = never fails
+  std::vector<Slot> join_slot_;     ///< -1 = no dynamic join
   std::vector<std::unique_ptr<Protocol>> protocols_;
   std::vector<common::Rng> rngs_;
   std::vector<SlotObserver> observers_;

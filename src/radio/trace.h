@@ -18,12 +18,16 @@ struct RunMetrics {
   std::uint64_t total_deliveries = 0;
   /// Slot with the most simultaneous transmissions.
   std::size_t max_concurrent_tx = 0;
-  /// Nodes killed by injected failures during the run.
+  /// Nodes dead at the end of the run (a revived node leaves this count).
   std::size_t failed_nodes = 0;
   /// Living nodes that never decided (0 unless failures disturbed the run).
   std::size_t stalled_nodes = 0;
+  /// Dynamic-join events fired (late arrivals plus revivals).
+  std::size_t joined_nodes = 0;
   /// Per-node slot of decision (relative to slot 0), -1 if undecided.
   std::vector<Slot> decision_slot;
+  /// Per-node slot of death, -1 if alive at the end (revivals reset it).
+  std::vector<Slot> death_slot;
   /// Per-node wake-up slot (copied from the schedule for convenience).
   std::vector<Slot> wake_slot;
   /// Per-node transmission count (energy accounting).

@@ -1,0 +1,135 @@
+#include "robust/recovery_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sinrcolor::robust {
+
+RecoveryInstance::RecoveryInstance(const graph::UnitDiskGraph& g,
+                                   const core::MwRunConfig& config)
+    : graph_(g),
+      config_(config),
+      params_(core::derive_mw_params(g, config)) {
+  simulator_ = std::make_unique<radio::Simulator>(
+      graph_, core::make_interference_model(graph_, config_),
+      core::make_wakeup_schedule(g.size(), config_), config_.seed);
+
+  const core::RecoveryOptions& rec = config_.recovery;
+  std::vector<bool> is_joiner(g.size(), false);
+  if (rec.join_fraction > 0.0) {
+    SINRCOLOR_CHECK(rec.join_fraction <= 1.0);
+    SINRCOLOR_CHECK(rec.join_at >= 0 && rec.join_window >= 0);
+    common::Rng rng(common::derive_seed(config_.seed, 0x901dULL));
+    std::vector<graph::NodeId> order(g.size());
+    for (graph::NodeId v = 0; v < g.size(); ++v) order[v] = v;
+    common::shuffle(order, rng);
+    const auto arrivals = static_cast<std::size_t>(
+        std::ceil(rec.join_fraction * static_cast<double>(g.size())));
+    for (std::size_t k = 0; k < arrivals && k < order.size(); ++k) {
+      const graph::NodeId v = order[k];
+      is_joiner[v] = true;
+      joiners_.push_back(v);
+      simulator_->set_join_slot(
+          v, rec.join_at + rng.uniform_int(0, std::max<radio::Slot>(
+                                                  rec.join_window, 0)));
+    }
+  }
+  core::schedule_random_failures(*simulator_, config_, &is_joiner);
+
+  nodes_.reserve(g.size());
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    auto node = std::make_unique<SelfHealingNode>(v, params_, rec, is_joiner[v]);
+    nodes_.push_back(node.get());
+    simulator_->set_protocol(v, std::move(node));
+  }
+}
+
+core::MwRunResult RecoveryInstance::run() {
+  const core::RecoveryOptions& rec = config_.recovery;
+  radio::Slot horizon = config_.max_slots > 0 ? config_.max_slots
+                                              : params_.recommended_max_slots();
+  if (!joiners_.empty()) {
+    // Late arrivals need room to listen, pick and confirm after the last
+    // join slot, whatever the base horizon was sized for.
+    const radio::Slot listen =
+        rec.join_listen_slots > 0
+            ? rec.join_listen_slots
+            : 2 * static_cast<radio::Slot>(params_.window_positive);
+    const radio::Slot confirm =
+        rec.join_confirm_slots > 0
+            ? rec.join_confirm_slots
+            : static_cast<radio::Slot>(params_.window_positive);
+    horizon = std::max(horizon, rec.join_at + rec.join_window + listen +
+                                    8 * confirm);
+  }
+
+  core::MwRunResult result;
+  result.params = params_;
+  result.metrics = simulator_->run(horizon);
+
+  const std::size_t n = graph_.size();
+  result.coloring.color.assign(n, graph::kUncolored);
+  for (std::size_t v = 0; v < n; ++v) {
+    result.coloring.color[v] = nodes_[v]->final_color();
+    const core::MwNode* inner = nodes_[v]->inner();
+    if (inner != nullptr && inner->state() == core::MwStateKind::kLeader) {
+      result.leaders.push_back(static_cast<graph::NodeId>(v));
+    }
+  }
+
+  // Validity on the live nodes: every survivor colored, no two adjacent
+  // survivors sharing a color. Dead nodes keep their stale color in
+  // result.coloring for inspection, but no live radio uses it.
+  graph::Coloring live = result.coloring;
+  bool all_live_colored = true;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (result.metrics.death_slot[v] >= 0) {
+      live.color[v] = graph::kUncolored;
+    } else if (live.color[v] == graph::kUncolored) {
+      all_live_colored = false;
+    }
+  }
+  std::size_t live_conflicts = 0;
+  for (const auto& violation : graph::find_coloring_violations(graph_, live)) {
+    if (violation.u != violation.v) ++live_conflicts;  // skip uncolored entries
+  }
+  result.coloring_valid = all_live_colored && live_conflicts == 0;
+  result.palette = live.palette_size();
+  result.max_color = live.max_color();
+
+  core::RecoveryStats& stats = result.recovery;
+  stats.joined_nodes = result.metrics.joined_nodes;
+  double latency_total = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const SelfHealingNode& node = *nodes_[v];
+    stats.failovers += node.failovers();
+    stats.join_conflicts_repaired += node.conflicts_repaired();
+    if (node.is_joiner() && node.fell_back_to_full_protocol()) {
+      ++stats.join_fallbacks;
+    }
+    if (node.failovers() > 0 && node.decided() &&
+        result.metrics.decision_slot[v] >= 0) {
+      ++stats.recovered_nodes;
+      const radio::Slot latency =
+          result.metrics.decision_slot[v] - node.first_failover_slot();
+      latency_total += static_cast<double>(latency);
+      stats.max_failover_latency = std::max(stats.max_failover_latency, latency);
+    }
+  }
+  if (stats.recovered_nodes > 0) {
+    stats.mean_failover_latency =
+        latency_total / static_cast<double>(stats.recovered_nodes);
+  }
+  return result;
+}
+
+core::MwRunResult run_recovering_mw(const graph::UnitDiskGraph& g,
+                                    const core::MwRunConfig& config) {
+  RecoveryInstance instance(g, config);
+  return instance.run();
+}
+
+}  // namespace sinrcolor::robust

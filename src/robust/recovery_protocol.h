@@ -1,0 +1,51 @@
+// Driver tying the self-healing node layer to the slotted simulator.
+//
+// RecoveryInstance mirrors core::MwInstance but installs a SelfHealingNode
+// per graph node, honours the config's RecoveryOptions (failure detection +
+// leader failover) and join knobs (⌈join_fraction·n⌉ random late arrivals),
+// and reports the recovery metrics in MwRunResult::recovery. Joiners are
+// excluded from random failure injection (killing a node that has not
+// arrived yet would conflate the two churn mechanisms).
+//
+// Validity is judged on the LIVE nodes: the run's coloring is valid when
+// every survivor holds a color and no two adjacent survivors share one
+// (dead nodes' stale colors are reported in the coloring but do not count —
+// no live radio uses them; see X14).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/mw_protocol.h"
+#include "robust/self_healing_node.h"
+
+namespace sinrcolor::robust {
+
+class RecoveryInstance {
+ public:
+  RecoveryInstance(const graph::UnitDiskGraph& g,
+                   const core::MwRunConfig& config);
+
+  const core::MwParams& params() const { return params_; }
+  radio::Simulator& simulator() { return *simulator_; }
+  const std::vector<SelfHealingNode*>& nodes() const { return nodes_; }
+  /// Nodes scheduled as late arrivals (empty when join_fraction == 0).
+  const std::vector<graph::NodeId>& joiners() const { return joiners_; }
+
+  /// Executes the protocol and extracts the result. Call once.
+  core::MwRunResult run();
+
+ private:
+  const graph::UnitDiskGraph& graph_;
+  core::MwRunConfig config_;
+  core::MwParams params_;
+  std::unique_ptr<radio::Simulator> simulator_;
+  std::vector<SelfHealingNode*> nodes_;  // owned by the simulator
+  std::vector<graph::NodeId> joiners_;
+};
+
+/// Convenience wrapper: build a RecoveryInstance and run it.
+core::MwRunResult run_recovering_mw(const graph::UnitDiskGraph& g,
+                                    const core::MwRunConfig& config);
+
+}  // namespace sinrcolor::robust

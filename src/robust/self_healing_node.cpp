@@ -1,0 +1,238 @@
+#include "robust/self_healing_node.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sinrcolor::robust {
+namespace {
+
+// Worst legitimate wait in state R: the leader may serve every other cluster
+// member first ((Δ+1)·assign_slots) and our own request still needs to get
+// through (2·window⁺ covers a q_s sender w.h.p. by the κ·ln n coupling).
+radio::Slot default_suspect_timeout(const core::MwParams& p) {
+  return static_cast<radio::Slot>(p.max_degree + 1) * p.assign_slots +
+         2 * static_cast<radio::Slot>(p.window_positive);
+}
+
+}  // namespace
+
+SelfHealingNode::SelfHealingNode(graph::NodeId id, const core::MwParams& params,
+                                 const core::RecoveryOptions& options,
+                                 bool joiner)
+    : id_(id), params_(params), options_(options), joiner_(joiner) {
+  suspect_timeout_ = options_.suspect_timeout > 0 ? options_.suspect_timeout
+                                                  : default_suspect_timeout(params_);
+  SINRCOLOR_CHECK(suspect_timeout_ > 0);
+  SINRCOLOR_CHECK(options_.backoff >= 1.0);
+}
+
+void SelfHealingNode::start_inner(radio::Slot slot) {
+  inner_ = std::make_unique<core::MwNode>(id_, params_);
+  inner_->on_wake(slot);
+  requesting_since_ = -1;
+  last_leader_heard_ = -1;
+}
+
+void SelfHealingNode::on_wake(radio::Slot slot) {
+  // A second on_wake is a revival (join slot after a failure slot): the node
+  // restarts from scratch, forgetting any pre-crash protocol state.
+  join_phase_ = JoinPhase::kInactive;
+  join_fallback_ = false;
+  confirmed_once_ = false;
+  join_color_ = graph::kUncolored;
+  heard_colors_.clear();
+  heard_beacon_ = false;
+  heard_contention_ = false;
+  inner_.reset();
+  if (joiner_) {
+    join_phase_ = JoinPhase::kListening;
+    join_listen_remaining_ =
+        options_.join_listen_slots > 0
+            ? options_.join_listen_slots
+            : 2 * static_cast<radio::Slot>(params_.window_positive);
+  } else {
+    start_inner(slot);
+  }
+}
+
+void SelfHealingNode::fail_over(radio::Slot slot) {
+  ++failovers_;
+  if (first_failover_slot_ < 0) first_failover_slot_ = slot;
+  suspect_timeout_ = static_cast<radio::Slot>(
+      static_cast<double>(suspect_timeout_) * options_.backoff);
+  inner_->restart_election();
+  requesting_since_ = -1;
+  last_leader_heard_ = -1;
+}
+
+std::optional<radio::Message> SelfHealingNode::begin_slot(radio::Slot slot,
+                                                          common::Rng& rng) {
+  if (join_phase_ != JoinPhase::kInactive) return join_begin_slot(slot, rng);
+
+  // Failure detection: a requester whose leader has been silent past the
+  // suspect timeout declares it dead and re-enters leader election.
+  if (options_.enabled && inner_->state() == core::MwStateKind::kRequesting) {
+    if (requesting_since_ < 0) requesting_since_ = slot;
+    const radio::Slot last_signal = std::max(requesting_since_, last_leader_heard_);
+    if (slot - last_signal > suspect_timeout_ &&
+        failovers_ < options_.max_failovers) {
+      fail_over(slot);
+    }
+  } else {
+    requesting_since_ = -1;
+  }
+  // Competitor mirrors advance one per slot without any traffic; prune the
+  // ones silent past the same timeout so a crashed competitor cannot keep
+  // depressing χ(P_v).
+  if (options_.enabled &&
+      (inner_->state() == core::MwStateKind::kListening ||
+       inner_->state() == core::MwStateKind::kCompeting)) {
+    inner_->prune_competitors_older_than(slot, suspect_timeout_);
+  }
+  return inner_->begin_slot(slot, rng);
+}
+
+void SelfHealingNode::on_receive(radio::Slot slot, const radio::Message& msg) {
+  if (join_phase_ != JoinPhase::kInactive) {
+    join_receive(msg);
+    return;
+  }
+  if (msg.sender == inner_->leader()) last_leader_heard_ = slot;
+  inner_->on_receive(slot, msg);
+}
+
+void SelfHealingNode::end_slot(radio::Slot slot) {
+  if (inner_ != nullptr) inner_->end_slot(slot);
+}
+
+bool SelfHealingNode::decided() const {
+  if (confirmed_once_) return true;
+  return inner_ != nullptr && inner_->decided();
+}
+
+graph::Color SelfHealingNode::final_color() const {
+  if (confirmed_once_) return join_color_;
+  return inner_ != nullptr ? inner_->final_color() : graph::kUncolored;
+}
+
+void SelfHealingNode::note_heard_color(graph::Color color) {
+  heard_colors_.insert(color);
+}
+
+graph::Color SelfHealingNode::pick_free_color() const {
+  // Smallest free color ≥ 1: color 0 carries leader duties a fast joiner
+  // does not take on, and any color absent from the neighborhood keeps the
+  // (1,·)-coloring valid.
+  graph::Color c = 1;
+  while (heard_colors_.count(c) > 0) ++c;
+  return c;
+}
+
+std::optional<radio::Message> SelfHealingNode::join_begin_slot(
+    radio::Slot slot, common::Rng& rng) {
+  switch (join_phase_) {
+    case JoinPhase::kInactive:
+      return std::nullopt;  // unreachable; kept for switch completeness
+
+    case JoinPhase::kListening: {
+      if (--join_listen_remaining_ > 0) return std::nullopt;
+      if (heard_contention_ || !heard_beacon_) {
+        // The neighborhood is still converging (or empty): the fast path's
+        // premise fails, so run the full MW protocol from this slot on.
+        join_fallback_ = true;
+        join_phase_ = JoinPhase::kInactive;
+        start_inner(slot);
+        return inner_->begin_slot(slot, rng);
+      }
+      join_color_ = pick_free_color();
+      join_phase_ = JoinPhase::kConfirming;
+      confirm_remaining_ =
+          options_.join_confirm_slots > 0
+              ? options_.join_confirm_slots
+              : static_cast<radio::Slot>(params_.window_positive);
+      return std::nullopt;
+    }
+
+    case JoinPhase::kConfirming:
+    case JoinPhase::kConfirmed: {
+      if (join_phase_ == JoinPhase::kConfirming && --confirm_remaining_ <= 0) {
+        join_phase_ = JoinPhase::kConfirmed;
+        confirmed_once_ = true;
+      }
+      // Beacon the (tentative or held) color like a colored node; the M_J
+      // kind keeps it distinguishable from a settled M_C so joiner/joiner
+      // ties stay resolvable.
+      if (rng.bernoulli(params_.q_small)) {
+        radio::Message m;
+        m.kind = radio::MessageKind::kJoinBeacon;
+        m.sender = id_;
+        m.color_class = join_color_;
+        return m;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void SelfHealingNode::join_receive(const radio::Message& msg) {
+  if (join_phase_ == JoinPhase::kListening) {
+    switch (msg.kind) {
+      case radio::MessageKind::kColorBeacon:
+      case radio::MessageKind::kJoinBeacon:
+        heard_beacon_ = true;
+        note_heard_color(msg.color_class);
+        return;
+      case radio::MessageKind::kColorAssign:
+        heard_beacon_ = true;
+        note_heard_color(0);  // the sender is a leader
+        return;
+      case radio::MessageKind::kCompete:
+      case radio::MessageKind::kRequest:
+        heard_contention_ = true;
+        return;
+    }
+    return;
+  }
+
+  // Confirming / confirmed: keep absorbing the neighborhood palette and
+  // watch for collisions with our own color.
+  bool conflict = false;
+  switch (msg.kind) {
+    case radio::MessageKind::kColorBeacon:
+      // An established node owns this color outright; we always yield.
+      conflict = msg.color_class == join_color_;
+      note_heard_color(msg.color_class);
+      break;
+    case radio::MessageKind::kJoinBeacon:
+      // Joiner/joiner tie: the lower id keeps the color, the higher yields.
+      if (msg.color_class == join_color_ && msg.sender < id_) {
+        conflict = true;
+        note_heard_color(msg.color_class);
+      } else if (msg.color_class != join_color_) {
+        note_heard_color(msg.color_class);
+      }
+      break;
+    case radio::MessageKind::kColorAssign:
+      note_heard_color(0);
+      break;
+    case radio::MessageKind::kCompete:
+    case radio::MessageKind::kRequest:
+      break;  // a neighbor is re-electing (failover); not our concern
+  }
+  if (conflict) {
+    join_color_ = pick_free_color();
+    ++conflicts_repaired_;
+    // Re-run the confirmation window for the new color; an already-confirmed
+    // joiner stays "decided" (the repair is local and the final extraction
+    // reads the repaired color).
+    join_phase_ = JoinPhase::kConfirming;
+    confirm_remaining_ =
+        options_.join_confirm_slots > 0
+            ? options_.join_confirm_slots
+            : static_cast<radio::Slot>(params_.window_positive);
+  }
+}
+
+}  // namespace sinrcolor::robust

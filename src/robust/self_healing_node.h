@@ -1,0 +1,108 @@
+// Self-healing wrapper around the MW node state machine.
+//
+// The paper's protocol assumes reliable, static nodes; X14 shows that a
+// leader crashing mid-run permanently stalls the requesters it orphaned.
+// SelfHealingNode adds three mechanisms, all local and heuristic (safety
+// stays the protocol's; liveness is restored without a proof claim):
+//
+//  1. Failure detection — while in state R the wrapper tracks beacon silence
+//     from the recorded leader; after a suspect timeout (exponential backoff
+//     across failovers) the leader is declared dead.
+//  2. Leader failover — a suspecting requester re-enters leader election
+//     from A_0 (MwNode::restart_election) instead of waiting forever; it
+//     re-acquires a color range from another leader or self-promotes. Stale
+//     competitor mirrors are pruned on the same timeout so a crashed
+//     competitor cannot depress χ(P_v) indefinitely.
+//  3. Fast dynamic join — a late arrival listens for color beacons, picks a
+//     locally free color, and beacons it tentatively (M_J) while watching
+//     for collisions. Joiner/joiner ties break by id (lower id keeps the
+//     color); an established M_C beacon always wins. If the listen phase
+//     overhears competition/request traffic the neighborhood has not
+//     converged and the joiner falls back to the full MW protocol.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/mw_node.h"
+#include "core/mw_params.h"
+#include "core/recovery_types.h"
+#include "radio/protocol.h"
+
+namespace sinrcolor::robust {
+
+class SelfHealingNode final : public radio::Protocol {
+ public:
+  /// `params` must outlive the node; `options` is copied. `joiner` selects
+  /// the fast-join path on wake (normal nodes run the wrapped MW protocol).
+  SelfHealingNode(graph::NodeId id, const core::MwParams& params,
+                  const core::RecoveryOptions& options, bool joiner);
+
+  // --- radio::Protocol ---
+  void on_wake(radio::Slot slot) override;
+  std::optional<radio::Message> begin_slot(radio::Slot slot,
+                                           common::Rng& rng) override;
+  void on_receive(radio::Slot slot, const radio::Message& message) override;
+  void end_slot(radio::Slot slot) override;
+  bool decided() const override;
+
+  // --- introspection (recovery driver, tests) ---
+  graph::NodeId id() const { return id_; }
+  /// Final color: the wrapped node's while it runs, the (possibly repaired)
+  /// join color on the fast path; graph::kUncolored before any decision.
+  graph::Color final_color() const;
+  bool is_joiner() const { return joiner_; }
+  /// True while the fast-join path is active (false after a fallback).
+  bool fast_join_active() const { return join_phase_ != JoinPhase::kInactive; }
+  bool fell_back_to_full_protocol() const { return join_fallback_; }
+  std::size_t failovers() const { return failovers_; }
+  radio::Slot first_failover_slot() const { return first_failover_slot_; }
+  std::size_t conflicts_repaired() const { return conflicts_repaired_; }
+  /// The wrapped MW node (null while the fast-join path runs).
+  const core::MwNode* inner() const { return inner_.get(); }
+
+ private:
+  enum class JoinPhase : std::uint8_t {
+    kInactive,    ///< not a joiner, or fell back to the full protocol
+    kListening,   ///< collecting neighbor colors
+    kConfirming,  ///< beaconing the tentative color, watching for conflicts
+    kConfirmed,   ///< color held; beaconing + conflict watch continue
+  };
+
+  void start_inner(radio::Slot slot);
+  void fail_over(radio::Slot slot);
+  void note_heard_color(graph::Color color);
+  graph::Color pick_free_color() const;
+  std::optional<radio::Message> join_begin_slot(radio::Slot slot,
+                                                common::Rng& rng);
+  void join_receive(const radio::Message& message);
+
+  const graph::NodeId id_;
+  const core::MwParams& params_;
+  const core::RecoveryOptions options_;
+  const bool joiner_;
+
+  std::unique_ptr<core::MwNode> inner_;
+
+  // Failure detector (normal path).
+  radio::Slot suspect_timeout_ = 0;   ///< current, doubles per failover
+  radio::Slot requesting_since_ = -1; ///< slot the inner node entered R
+  radio::Slot last_leader_heard_ = -1;
+  std::size_t failovers_ = 0;
+  radio::Slot first_failover_slot_ = -1;
+
+  // Fast-join state.
+  JoinPhase join_phase_ = JoinPhase::kInactive;
+  radio::Slot join_listen_remaining_ = 0;
+  radio::Slot confirm_remaining_ = 0;
+  std::set<graph::Color> heard_colors_;
+  bool heard_beacon_ = false;      ///< any M_C / M_J during the listen phase
+  bool heard_contention_ = false;  ///< any M_A / M_R: neighborhood not converged
+  bool join_fallback_ = false;
+  bool confirmed_once_ = false;
+  graph::Color join_color_ = graph::kUncolored;
+  std::size_t conflicts_repaired_ = 0;
+};
+
+}  // namespace sinrcolor::robust

@@ -1,0 +1,243 @@
+// Self-healing layer (src/robust) + the simulator's join-slot semantics:
+// leader failover instead of permanent stalls, dynamic joins (including the
+// degenerate join-at-0 and the symmetric adjacent-joiner cases), and the
+// die-then-revive accounting rules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mw_protocol.h"
+#include "geometry/deployment.h"
+#include "graph/coloring.h"
+#include "radio/interference_model.h"
+#include "radio/simulator.h"
+#include "robust/recovery_protocol.h"
+#include "robust/self_healing_node.h"
+
+namespace sinrcolor {
+namespace {
+
+sinr::SinrParams phys_for_radius(double r_t) {
+  sinr::SinrParams p;
+  p.noise = p.power / (2.0 * p.beta * std::pow(r_t, p.alpha));
+  return p;
+}
+
+// Transmits every slot; decides upon first reception.
+class ChattyProtocol final : public radio::Protocol {
+ public:
+  explicit ChattyProtocol(graph::NodeId id) : id_(id) {}
+  void on_wake(radio::Slot) override {}
+  std::optional<radio::Message> begin_slot(radio::Slot, common::Rng&) override {
+    radio::Message m;
+    m.kind = radio::MessageKind::kCompete;
+    m.sender = id_;
+    return m;
+  }
+  void on_receive(radio::Slot, const radio::Message&) override { heard_ = true; }
+  void end_slot(radio::Slot) override {}
+  bool decided() const override { return heard_; }
+
+ private:
+  graph::NodeId id_;
+  bool heard_ = false;
+};
+
+// Listens forever; decides upon first reception.
+class ListenerProtocol final : public radio::Protocol {
+ public:
+  void on_wake(radio::Slot) override {}
+  std::optional<radio::Message> begin_slot(radio::Slot, common::Rng&) override {
+    return std::nullopt;
+  }
+  void on_receive(radio::Slot, const radio::Message&) override { heard_ = true; }
+  void end_slot(radio::Slot) override {}
+  bool decided() const override { return heard_; }
+
+ private:
+  bool heard_ = false;
+};
+
+TEST(JoinSlots, JoinAtSlotZeroEqualsNormalWakeup) {
+  // A join slot of 0 under simultaneous wakeup is indistinguishable from the
+  // scheduled wake it suppresses: same decisions, same colors, same slots.
+  graph::UnitDiskGraph g(geometry::line_deployment(2, 0.5), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 5;
+  const auto clean = core::run_mw_coloring(g, cfg);
+  ASSERT_TRUE(clean.metrics.all_decided);
+
+  core::MwInstance instance(g, cfg);
+  instance.simulator().set_join_slot(1, 0);
+  const auto joined = instance.run();
+  EXPECT_TRUE(joined.metrics.all_decided);
+  EXPECT_EQ(joined.metrics.joined_nodes, 1u);
+  EXPECT_EQ(joined.coloring.color, clean.coloring.color);
+  EXPECT_EQ(joined.metrics.decision_slot, clean.metrics.decision_slot);
+}
+
+TEST(JoinSlots, JoinSlotSuppressesScheduledWake) {
+  // A join-only node ignores the wake-up schedule entirely: it sleeps (and
+  // spends no energy) until its join slot.
+  graph::UnitDiskGraph g(geometry::line_deployment(2, 0.5), 1.0);
+  radio::Simulator sim(g,
+                       std::make_unique<radio::SinrInterferenceModel>(
+                           g, phys_for_radius(1.0)),
+                       radio::simultaneous_wakeup(2), 1);
+  sim.set_protocol(0, std::make_unique<ChattyProtocol>(0));
+  sim.set_protocol(1, std::make_unique<ListenerProtocol>());
+  sim.set_join_slot(1, 20);
+  const auto metrics = sim.run(50);
+  EXPECT_EQ(metrics.joined_nodes, 1u);
+  EXPECT_EQ(metrics.decision_slot[1], 20);  // first slot it could listen
+  EXPECT_EQ(metrics.awake_slots[1], 30u);   // slots 20..49
+}
+
+TEST(JoinSlots, RevivedNodeIsNotDoubleCounted) {
+  // Die at slot 0, rejoin at slot 10: the node leaves failed_nodes again,
+  // death_slot resets, and the neighbor only ever hears the revived radio.
+  graph::UnitDiskGraph g(geometry::line_deployment(2, 0.5), 1.0);
+  radio::Simulator sim(g,
+                       std::make_unique<radio::SinrInterferenceModel>(
+                           g, phys_for_radius(1.0)),
+                       radio::simultaneous_wakeup(2), 1);
+  sim.set_protocol(0, std::make_unique<ChattyProtocol>(0));
+  sim.set_protocol(1, std::make_unique<ListenerProtocol>());
+  sim.set_failure_slot(0, 0);
+  sim.set_join_slot(0, 10);
+  const auto metrics = sim.run(50);
+  EXPECT_EQ(metrics.failed_nodes, 0u);  // the revival cancels the death
+  EXPECT_EQ(metrics.joined_nodes, 1u);
+  EXPECT_EQ(metrics.death_slot[0], -1);
+  EXPECT_EQ(metrics.tx_count[0], 40u);      // slots 10..49
+  EXPECT_EQ(metrics.decision_slot[1], 10);  // heard nothing before the revival
+  // The revived chatty node itself never hears anyone: a live undecided
+  // survivor, counted exactly once.
+  EXPECT_EQ(metrics.stalled_nodes, 1u);
+  EXPECT_EQ(metrics.decision_slot[0], -1);
+}
+
+TEST(Recovery, OrphanedRequesterFailsOverInsteadOfStalling) {
+  // The X14 stall scenario under the self-healing layer: probe the slot the
+  // member enters R, kill its leader right after, and expect the failure
+  // detector to fire and the member to re-elect (here: self-promote) rather
+  // than wait forever. Mirrors failure_test's OrphanedRequesterStalls.
+  graph::UnitDiskGraph g(geometry::line_deployment(2, 0.5), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 5;
+  cfg.recovery.enabled = true;
+
+  graph::NodeId leader = graph::kInvalidNode;
+  graph::NodeId member = graph::kInvalidNode;
+  radio::Slot request_entry = -1;
+  {
+    robust::RecoveryInstance probe(g, cfg);
+    const auto& nodes = probe.nodes();
+    probe.simulator().add_observer(
+        [&](radio::Slot slot, std::span<const radio::TxRecord>) {
+          for (graph::NodeId v = 0; v < 2; ++v) {
+            const core::MwNode* inner = nodes[v]->inner();
+            if (request_entry < 0 && inner != nullptr &&
+                inner->state() == core::MwStateKind::kRequesting) {
+              request_entry = slot;
+              member = v;
+            }
+          }
+        });
+    const auto clean = probe.run();
+    ASSERT_TRUE(clean.metrics.all_decided);
+    ASSERT_EQ(clean.leaders.size(), 1u);
+    leader = clean.leaders.front();
+    ASSERT_GE(request_entry, 0);
+    ASSERT_NE(member, leader);
+  }
+
+  robust::RecoveryInstance instance(g, cfg);  // same seed ⇒ identical prefix
+  instance.simulator().set_failure_slot(leader, request_entry + 1);
+  const auto result = instance.run();
+  EXPECT_EQ(result.metrics.failed_nodes, 1u);
+  EXPECT_EQ(result.metrics.stalled_nodes, 0u);
+  EXPECT_TRUE(result.coloring_valid);  // judged on the live nodes
+  EXPECT_NE(result.coloring.color[member], graph::kUncolored);
+  EXPECT_GE(instance.nodes()[member]->failovers(), 1u);
+  EXPECT_EQ(result.recovery.recovered_nodes, 1u);
+  EXPECT_GT(result.recovery.max_failover_latency, 0);
+}
+
+TEST(Recovery, SimultaneousAdjacentJoinersResolveTheirCollision) {
+  // Four nodes on a line at spacing 0.5; the middle two arrive together into
+  // the converged network. Both hear the same established palette, pick the
+  // same free color, and must break the tie themselves (lower id keeps it).
+  graph::UnitDiskGraph g(geometry::line_deployment(4, 0.5), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 11;
+  cfg.recovery.enabled = true;
+  const auto params = core::derive_mw_params(g, cfg);
+  // A long confirmation window so the collision is heard w.h.p. before both
+  // joiners settle (the default is tuned for throughput, not for this test).
+  cfg.recovery.join_confirm_slots =
+      4 * static_cast<radio::Slot>(params.window_positive);
+
+  radio::Simulator sim(g, core::make_interference_model(g, cfg),
+                       core::make_wakeup_schedule(4, cfg), cfg.seed);
+  std::vector<robust::SelfHealingNode*> nodes;
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    const bool joiner = v == 1 || v == 2;
+    auto node = std::make_unique<robust::SelfHealingNode>(v, params,
+                                                          cfg.recovery, joiner);
+    nodes.push_back(node.get());
+    sim.set_protocol(v, std::move(node));
+  }
+  // Nodes 0 and 3 (mutually out of range) elect themselves unopposed right
+  // after listen + threshold; join well after that.
+  const radio::Slot join_at = static_cast<radio::Slot>(params.listen_slots) +
+                              static_cast<radio::Slot>(params.counter_threshold) +
+                              10;
+  sim.set_join_slot(1, join_at);
+  sim.set_join_slot(2, join_at);
+  const auto metrics = sim.run(
+      join_at + 40 * static_cast<radio::Slot>(params.window_positive) + 1000);
+
+  ASSERT_TRUE(metrics.all_decided);
+  EXPECT_EQ(metrics.joined_nodes, 2u);
+  EXPECT_FALSE(nodes[1]->fell_back_to_full_protocol());
+  EXPECT_FALSE(nodes[2]->fell_back_to_full_protocol());
+  // They heard the same palette ⇒ picked the same color ⇒ one had to repair.
+  EXPECT_GE(nodes[1]->conflicts_repaired() + nodes[2]->conflicts_repaired(),
+            1u);
+  graph::Coloring coloring;
+  coloring.color.resize(4);
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    coloring.color[v] = nodes[v]->final_color();
+    ASSERT_NE(coloring.color[v], graph::kUncolored);
+  }
+  EXPECT_NE(coloring.color[1], coloring.color[2]);
+  EXPECT_TRUE(graph::find_coloring_violations(g, coloring).empty());
+}
+
+TEST(Recovery, JoinersAfterConvergenceKeepTheColoringValid) {
+  // End-to-end through the driver: 10% of a 40-node network arrives after
+  // convergence; every joiner ends colored and the live coloring stays valid.
+  common::Rng rng(321);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(40, 3.0, rng), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 13;
+  cfg.recovery.enabled = true;
+  const auto clean = core::run_mw_coloring(g, cfg);
+  ASSERT_TRUE(clean.metrics.all_decided);
+
+  cfg.recovery.join_fraction = 0.10;
+  cfg.recovery.join_at = clean.metrics.slots_executed + 200;
+  cfg.recovery.join_window = 100;
+  const auto result = robust::run_recovering_mw(g, cfg);
+  EXPECT_TRUE(result.metrics.all_decided);
+  EXPECT_EQ(result.metrics.stalled_nodes, 0u);
+  EXPECT_EQ(result.recovery.joined_nodes, 4u);  // ⌈0.1 · 40⌉
+  EXPECT_TRUE(result.coloring_valid);
+}
+
+}  // namespace
+}  // namespace sinrcolor

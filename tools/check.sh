@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full local gate: configure, build and test the plain tree, then repeat
+# under AddressSanitizer + UBSan (skip with --no-sanitize for a quick pass).
+#
+#   tools/check.sh [--no-sanitize] [extra cmake args...]
+#
+# Run from anywhere inside the repository.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+sanitize=1
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+  sanitize=0
+  shift
+fi
+
+run_tree() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S "$repo" "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+echo "== plain build =="
+run_tree "$repo/build" "$@"
+
+if [[ "$sanitize" == 1 ]]; then
+  echo "== sanitized build (address,undefined) =="
+  run_tree "$repo/build-asan" -DSINRCOLOR_SANITIZE=ON "$@"
+fi
+
+echo "all checks passed"

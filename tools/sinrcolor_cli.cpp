@@ -6,11 +6,17 @@
 //                          [--wakeup=sync|uniform] [--json=out.json] [--quiet]
 //   sinrcolor_cli mac      [--n=..] [--side=..] [--seed=..]
 //   sinrcolor_cli simulate [--n=..] [--side=..] [--seed=..] [--algorithm=..]
+//   sinrcolor_cli recover  [--n=..] [--side=..] [--seed=..] [--deployment=..]
+//                          [--fail-fraction=..] [--fail-window=..]
+//                          [--join-fraction=..] [--join-at=..] [--join-window=..]
+//                          [--json=out.json] [--quiet]
 //
 // `params` prints the theory and practical constants side by side for an
 // instance size; `color` runs the distributed coloring (optionally exporting
 // the full run as JSON); `mac` builds the Theorem-3 TDMA schedule and audits
-// it; `simulate` runs a message-passing algorithm over the simulated MAC.
+// it; `simulate` runs a message-passing algorithm over the simulated MAC;
+// `recover` runs the self-healing protocol (src/robust) under crash-stop
+// failures and/or dynamic joins and reports the recovery metrics.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +36,7 @@
 #include "mac/distance_d.h"
 #include "mac/simulation.h"
 #include "mac/tdma.h"
+#include "robust/recovery_protocol.h"
 
 namespace {
 
@@ -37,7 +44,8 @@ using namespace sinrcolor;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: sinrcolor_cli <params|color|mac|simulate> [--flags]\n"
+               "usage: sinrcolor_cli <params|color|mac|simulate|recover> "
+               "[--flags]\n"
                "see the header of tools/sinrcolor_cli.cpp for details\n");
   std::exit(2);
 }
@@ -198,6 +206,39 @@ int cmd_simulate(const common::Cli& cli) {
   return 2;
 }
 
+int cmd_recover(const common::Cli& cli) {
+  const auto g = build_graph(cli);
+  core::MwRunConfig cfg;
+  cfg.seed = cli.get_seed("seed", 1);
+  cfg.failure_fraction = cli.get_double("fail-fraction", 0.0);
+  cfg.failure_window = cli.get_int("fail-window", 0);
+  cfg.recovery.enabled = true;
+  cfg.recovery.join_fraction = cli.get_double("join-fraction", 0.0);
+  cfg.recovery.join_at = cli.get_int("join-at", 0);
+  cfg.recovery.join_window = cli.get_int("join-window", 0);
+  const std::string json_path = cli.get("json", "");
+  const bool quiet = cli.get_bool("quiet", false);
+  cli.reject_unknown();
+
+  const auto result = robust::run_recovering_mw(g, cfg);
+  if (!quiet) {
+    std::printf("graph: n=%zu Delta=%zu avg_deg=%.1f\n", g.size(),
+                g.max_degree(), g.average_degree());
+    std::printf("params: %s\n", result.params.to_string().c_str());
+    std::printf("recovery: %s\n", cfg.recovery.to_string().c_str());
+    std::printf("result: %s\n", result.summary().c_str());
+    std::printf("healing: %s\n", result.recovery.summary().c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << core::to_json(result) << '\n';
+    if (!quiet) std::printf("report written to %s\n", json_path.c_str());
+  }
+  // Success = the LIVE coloring is valid and no survivor stalled (a corpse
+  // cannot decide; result.metrics.all_decided would punish it unfairly).
+  return result.coloring_valid && result.metrics.stalled_nodes == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,5 +249,6 @@ int main(int argc, char** argv) {
   if (command == "color") return cmd_color(cli);
   if (command == "mac") return cmd_mac(cli);
   if (command == "simulate") return cmd_simulate(cli);
+  if (command == "recover") return cmd_recover(cli);
   usage();
 }
