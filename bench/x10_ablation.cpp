@@ -97,9 +97,10 @@ int main(int argc, char** argv) {
 
   const bool clean_default =
       baseline_run.violations == 0 && baseline_run.invalid == 0;
-  const std::size_t degraded = (short_windows.violations + short_windows.invalid > 0) +
-                               (constant_qs.violations + constant_qs.invalid > 0) +
-                               (low_threshold.violations + low_threshold.invalid > 0);
+  const std::size_t degraded =
+      static_cast<std::size_t>(short_windows.violations + short_windows.invalid > 0) +
+      static_cast<std::size_t>(constant_qs.violations + constant_qs.invalid > 0) +
+      static_cast<std::size_t>(low_threshold.violations + low_threshold.invalid > 0);
   std::printf("ablations that degraded correctness: %zu/3\n", degraded);
   return bench::print_verdict(
       clean_default && degraded >= 2,

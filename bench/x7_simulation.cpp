@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   bool all_equal = true;
   bool ratios_bounded = true;
 
-  for (std::size_t n : {128, 256, 512}) {
+  for (std::size_t n : {128UL, 256UL, 512UL}) {
     for (std::uint64_t s = 0; s < seeds; ++s) {
       // Flooding terminates only on connected instances; resample until
       // connected (flat-world densities occasionally strand a corner node).
@@ -58,14 +58,14 @@ int main(int argc, char** argv) {
       const std::uint64_t luby_seed = 500 + s;
       const Algo algos[] = {
           {"flooding/bfs",
-           [](graph::NodeId v, const graph::UnitDiskGraph&) {
-             return std::unique_ptr<mac::UniformAlgorithm>(
-                 new mac::FloodingBfs(v, 0));
+           [](graph::NodeId v, const graph::UnitDiskGraph&)
+               -> std::unique_ptr<mac::UniformAlgorithm> {
+             return std::make_unique<mac::FloodingBfs>(v, 0);
            }},
           {"luby-mis",
-           [luby_seed](graph::NodeId v, const graph::UnitDiskGraph&) {
-             return std::unique_ptr<mac::UniformAlgorithm>(
-                 new mac::LubyMis(v, luby_seed));
+           [luby_seed](graph::NodeId v, const graph::UnitDiskGraph&)
+               -> std::unique_ptr<mac::UniformAlgorithm> {
+             return std::make_unique<mac::LubyMis>(v, luby_seed);
            }},
       };
 
@@ -122,13 +122,13 @@ int main(int argc, char** argv) {
   common::Table general_table({"algorithm (general)", "n", "tau", "strategy",
                                "slots", "bundle factor", "outputs"});
   bool general_equal = true;
-  for (std::size_t n : {128, 256}) {
+  for (std::size_t n : {128UL, 256UL}) {
     auto g = bench::uniform_graph_with_density(n, 12.0, 16000);
     const auto coloring = baseline::greedy_distance_d_coloring(g, d + 1.0);
     const auto schedule = mac::TdmaSchedule::from_coloring(coloring);
-    auto make = [](graph::NodeId v, const graph::UnitDiskGraph& graph) {
-      return std::unique_ptr<mac::GeneralAlgorithm>(
-          new mac::RandomizedMatching(v, graph, 31337));
+    auto make = [](graph::NodeId v, const graph::UnitDiskGraph& graph)
+        -> std::unique_ptr<mac::GeneralAlgorithm> {
+      return std::make_unique<mac::RandomizedMatching>(v, graph, 31337);
     };
     auto ref_nodes = mac::instantiate_general(g, make);
     const auto ref = mac::run_reference_general(g, ref_nodes, 600);

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                        "Delta+1", "extra slots", "valid", "missed"});
   bool ok = true;
 
-  for (std::size_t n : {150, 300}) {
+  for (std::size_t n : {150UL, 300UL}) {
     for (std::uint64_t s = 0; s < seeds; ++s) {
       const auto g = bench::uniform_graph_with_density(n, 12.0, 17000 + s);
 

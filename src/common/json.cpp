@@ -105,7 +105,8 @@ const std::string& JsonWriter::str() const {
 std::string JsonWriter::escape(const std::string& raw) {
   std::string escaped;
   escaped.reserve(raw.size());
-  for (unsigned char ch : raw) {
+  for (const char raw_ch : raw) {
+    const auto ch = static_cast<unsigned char>(raw_ch);
     switch (ch) {
       case '"': escaped += "\\\""; break;
       case '\\': escaped += "\\\\"; break;

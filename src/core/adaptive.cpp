@@ -33,10 +33,16 @@ AdaptiveMwNode::AdaptiveMwNode(graph::NodeId id, std::size_t n,
       params_(params_for(n, phys, tuning, delta_hat_)),
       inner_(std::make_unique<MwNode>(id, params_)) {}
 
-void AdaptiveMwNode::on_wake(radio::Slot slot) { inner_->on_wake(slot); }
+void AdaptiveMwNode::on_wake(radio::Slot slot) {
+  SINRCOLOR_CHECK_MSG(inner_->state() == MwStateKind::kAsleep,
+                      "on_wake on an already-woken adaptive node");
+  inner_->on_wake(slot);
+}
 
 std::optional<radio::Message> AdaptiveMwNode::begin_slot(radio::Slot slot,
                                                          common::Rng& rng) {
+  SINRCOLOR_CHECK_MSG(inner_->state() != MwStateKind::kAsleep,
+                      "begin_slot on a sleeping adaptive node");
   return inner_->begin_slot(slot, rng);
 }
 
@@ -52,6 +58,8 @@ void AdaptiveMwNode::rebuild(radio::Slot slot, std::size_t new_delta) {
 }
 
 void AdaptiveMwNode::on_receive(radio::Slot slot, const radio::Message& msg) {
+  SINRCOLOR_CHECK_MSG(inner_->state() != MwStateKind::kAsleep,
+                      "delivery to a sleeping adaptive node");
   heard_.insert(msg.sender);
   if (!inner_->decided() && heard_.size() > delta_hat_) {
     // Evidence of underestimation: we have ≥ heard_ neighbors. Double past

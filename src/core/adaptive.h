@@ -13,8 +13,8 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "core/mw_node.h"
@@ -52,7 +52,10 @@ class AdaptiveMwNode final : public radio::Protocol {
   const PracticalTuning tuning_;
   std::size_t delta_hat_;
   std::uint32_t restarts_ = 0;
-  std::unordered_set<graph::NodeId> heard_;
+  // Ordered on purpose: unordered_set iteration order varies across library
+  // implementations, and anything feeding restart decisions must be
+  // bit-stable across same-seed runs (sinrlint R1).
+  std::set<graph::NodeId> heard_;
   MwParams params_;  // owned; inner_ holds a reference to this member
   std::unique_ptr<MwNode> inner_;
 };

@@ -26,8 +26,14 @@ void MwNode::on_wake(radio::Slot /*slot*/) {
   enter_class(0);
 }
 
+void MwNode::transition_to(MwStateKind next) {
+  SINRCOLOR_CHECK_MSG(mw_transition_allowed(state_, next),
+                      "illegal MwStateKind transition (kMwTransitionTable)");
+  state_ = next;
+}
+
 void MwNode::enter_class(std::int32_t j) {
-  state_ = MwStateKind::kListening;
+  transition_to(MwStateKind::kListening);
   color_class_ = j;
   competitors_.clear();
   counter_ = 0;
@@ -75,7 +81,7 @@ std::optional<radio::Message> MwNode::begin_slot(radio::Slot slot,
       }
       // Fig. 1 line 6: leave the listening phase with c_v := χ(P_v) and fall
       // through to the first competition iteration in this same slot.
-      state_ = MwStateKind::kCompeting;
+      transition_to(MwStateKind::kCompeting);
       counter_ = chi(slot);
       [[fallthrough]];
     }
@@ -85,9 +91,9 @@ std::optional<radio::Message> MwNode::begin_slot(radio::Slot slot,
       ++counter_;
       if (counter_ >= params_.counter_threshold) {
         if (color_class_ == 0) {
-          state_ = MwStateKind::kLeader;  // joins the independent set C_0
+          transition_to(MwStateKind::kLeader);  // joins the independent set C_0
         } else {
-          state_ = MwStateKind::kColored;
+          transition_to(MwStateKind::kColored);
         }
         return std::nullopt;
       }
@@ -187,7 +193,7 @@ void MwNode::on_receive(radio::Slot slot, const radio::Message& msg) {
       if (leader_signal) {
         if (class_zero) {
           leader_ = msg.sender;  // L(v) := w; state := R
-          state_ = MwStateKind::kRequesting;
+          transition_to(MwStateKind::kRequesting);
         } else {
           enter_class(color_class_ + 1);  // state := A_{i+1}
         }
@@ -243,8 +249,10 @@ void MwNode::on_receive(radio::Slot slot, const radio::Message& msg) {
 void MwNode::end_slot(radio::Slot /*slot*/) {}
 
 void MwNode::restart_election() {
-  SINRCOLOR_CHECK_MSG(state_ != MwStateKind::kAsleep,
-                      "restart_election on a sleeping node");
+  SINRCOLOR_CHECK_MSG(state_ == MwStateKind::kListening ||
+                          state_ == MwStateKind::kCompeting ||
+                          state_ == MwStateKind::kRequesting,
+                      "restart_election requires an awake, undecided node");
   leader_ = graph::kInvalidNode;
   request_queue_.clear();
   serving_ = false;

@@ -35,6 +35,43 @@ enum class MwStateKind : std::uint8_t {
 
 const char* to_string(MwStateKind kind);
 
+/// Number of MwStateKind values (dimension of the transition table).
+inline constexpr std::size_t kMwStateCount = 6;
+
+/// The paper's Fig. 1–3 automaton as data: kMwTransitionTable[from][to] is
+/// true iff the protocol may move a node from `from` to `to`. Every mutation
+/// of MwNode::state_ flows through MwNode::transition_to(), which CHECKs
+/// against this table — so the table IS the auditable automaton, and the
+/// sinrlint R2 rule guarantees no mutation bypasses it.
+///
+/// Edges (row = from):
+///   kAsleep     → kListening   on_wake: enter A_0 (Fig. 1 line 1)
+///   kListening  → kListening   leader signal in A_i, i>0: enter A_{i+1}
+///   kListening  → kCompeting   listening phase over (Fig. 1 line 6)
+///   kListening  → kRequesting  class-0 leader signal: L(v) := w (Fig. 1 l. 5)
+///   kCompeting  → kListening   A_{i+1} re-entry / election restart
+///   kCompeting  → kRequesting  class-0 leader signal (Fig. 1 line 12)
+///   kCompeting  → kLeader      c_v hit threshold in class 0 (Fig. 1 line 11)
+///   kCompeting  → kColored     c_v hit threshold in class i>0
+///   kRequesting → kListening   cluster color granted: enter A_{tc(φ+1)}
+///                              (Fig. 3 line 3) or leader failover restart
+///   kLeader, kColored           terminal: no outgoing edges
+inline constexpr bool kMwTransitionTable[kMwStateCount][kMwStateCount] = {
+    //               to: asleep listen compete request leader colored
+    /* kAsleep     */ {false, true, false, false, false, false},
+    /* kListening  */ {false, true, true, true, false, false},
+    /* kCompeting  */ {false, true, false, true, true, true},
+    /* kRequesting */ {false, true, false, false, false, false},
+    /* kLeader     */ {false, false, false, false, false, false},
+    /* kColored    */ {false, false, false, false, false, false},
+};
+
+/// True iff the Fig. 1–3 automaton allows `from` → `to`.
+constexpr bool mw_transition_allowed(MwStateKind from, MwStateKind to) {
+  return kMwTransitionTable[static_cast<std::size_t>(from)]
+                           [static_cast<std::size_t>(to)];
+}
+
 class MwNode final : public radio::Protocol {
  public:
   /// `params` must outlive the node.
@@ -69,7 +106,8 @@ class MwNode final : public radio::Protocol {
   // --- robustness hooks (src/robust; beyond the paper's model) ---
   /// Abandons the current attempt and re-enters leader election from A_0
   /// with no recorded leader. Called by the self-healing layer when this
-  /// node's leader is suspected dead. Requires an awake node.
+  /// node's leader is suspected dead. Requires an awake, undecided node
+  /// (kLeader / kColored are terminal in kMwTransitionTable).
   void restart_election();
   /// Drops competitors whose last M_A is older than `max_age` slots — a
   /// crashed competitor's mirrored counter would otherwise advance forever
@@ -90,6 +128,9 @@ class MwNode final : public radio::Protocol {
     }
   };
 
+  /// Sole mutation point of state_: validates the edge against
+  /// kMwTransitionTable (aborts on an illegal transition).
+  void transition_to(MwStateKind next);
   /// Enter A_j: Fig. 1 line 1 initialisation + listening phase.
   void enter_class(std::int32_t j);
   /// Fig. 1 line 6: largest value ≤ 0 outside every [d_v(w) ± window].
@@ -100,7 +141,7 @@ class MwNode final : public radio::Protocol {
   const graph::NodeId id_;
   const MwParams& params_;
 
-  MwStateKind state_ = MwStateKind::kAsleep;
+  MwStateKind state_{MwStateKind::kAsleep};
   std::int32_t color_class_ = 0;       ///< i of the current A_i / C_i
   radio::Slot listen_remaining_ = 0;   ///< slots left in the listening phase
   std::int64_t counter_ = 0;           ///< c_v

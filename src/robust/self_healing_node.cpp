@@ -27,6 +27,12 @@ SelfHealingNode::SelfHealingNode(graph::NodeId id, const core::MwParams& params,
   SINRCOLOR_CHECK(options_.backoff >= 1.0);
 }
 
+void SelfHealingNode::transition_to(JoinPhase next) {
+  SINRCOLOR_CHECK_MSG(join_transition_allowed(join_phase_, next),
+                      "illegal JoinPhase transition (kJoinTransitionTable)");
+  join_phase_ = next;
+}
+
 void SelfHealingNode::start_inner(radio::Slot slot) {
   inner_ = std::make_unique<core::MwNode>(id_, params_);
   inner_->on_wake(slot);
@@ -35,9 +41,10 @@ void SelfHealingNode::start_inner(radio::Slot slot) {
 }
 
 void SelfHealingNode::on_wake(radio::Slot slot) {
+  SINRCOLOR_CHECK_MSG(slot >= 0, "on_wake with a negative slot");
   // A second on_wake is a revival (join slot after a failure slot): the node
   // restarts from scratch, forgetting any pre-crash protocol state.
-  join_phase_ = JoinPhase::kInactive;
+  transition_to(JoinPhase::kInactive);
   join_fallback_ = false;
   confirmed_once_ = false;
   join_color_ = graph::kUncolored;
@@ -46,7 +53,7 @@ void SelfHealingNode::on_wake(radio::Slot slot) {
   heard_contention_ = false;
   inner_.reset();
   if (joiner_) {
-    join_phase_ = JoinPhase::kListening;
+    transition_to(JoinPhase::kListening);
     join_listen_remaining_ =
         options_.join_listen_slots > 0
             ? options_.join_listen_slots
@@ -68,6 +75,8 @@ void SelfHealingNode::fail_over(radio::Slot slot) {
 
 std::optional<radio::Message> SelfHealingNode::begin_slot(radio::Slot slot,
                                                           common::Rng& rng) {
+  SINRCOLOR_CHECK_MSG(join_phase_ != JoinPhase::kInactive || inner_ != nullptr,
+                      "begin_slot on a sleeping self-healing node");
   if (join_phase_ != JoinPhase::kInactive) return join_begin_slot(slot, rng);
 
   // Failure detection: a requester whose leader has been silent past the
@@ -94,6 +103,8 @@ std::optional<radio::Message> SelfHealingNode::begin_slot(radio::Slot slot,
 }
 
 void SelfHealingNode::on_receive(radio::Slot slot, const radio::Message& msg) {
+  SINRCOLOR_CHECK_MSG(join_phase_ != JoinPhase::kInactive || inner_ != nullptr,
+                      "delivery to a sleeping self-healing node");
   if (join_phase_ != JoinPhase::kInactive) {
     join_receive(msg);
     return;
@@ -141,12 +152,12 @@ std::optional<radio::Message> SelfHealingNode::join_begin_slot(
         // The neighborhood is still converging (or empty): the fast path's
         // premise fails, so run the full MW protocol from this slot on.
         join_fallback_ = true;
-        join_phase_ = JoinPhase::kInactive;
+        transition_to(JoinPhase::kInactive);
         start_inner(slot);
         return inner_->begin_slot(slot, rng);
       }
       join_color_ = pick_free_color();
-      join_phase_ = JoinPhase::kConfirming;
+      transition_to(JoinPhase::kConfirming);
       confirm_remaining_ =
           options_.join_confirm_slots > 0
               ? options_.join_confirm_slots
@@ -157,7 +168,7 @@ std::optional<radio::Message> SelfHealingNode::join_begin_slot(
     case JoinPhase::kConfirming:
     case JoinPhase::kConfirmed: {
       if (join_phase_ == JoinPhase::kConfirming && --confirm_remaining_ <= 0) {
-        join_phase_ = JoinPhase::kConfirmed;
+        transition_to(JoinPhase::kConfirmed);
         confirmed_once_ = true;
       }
       // Beacon the (tentative or held) color like a colored node; the M_J
@@ -227,7 +238,7 @@ void SelfHealingNode::join_receive(const radio::Message& msg) {
     // Re-run the confirmation window for the new color; an already-confirmed
     // joiner stays "decided" (the repair is local and the final extraction
     // reads the repaired color).
-    join_phase_ = JoinPhase::kConfirming;
+    transition_to(JoinPhase::kConfirming);
     confirm_remaining_ =
         options_.join_confirm_slots > 0
             ? options_.join_confirm_slots

@@ -70,6 +70,39 @@ class SelfHealingNode final : public radio::Protocol {
     kConfirmed,   ///< color held; beaconing + conflict watch continue
   };
 
+  /// Number of JoinPhase values (dimension of the transition table).
+  static constexpr std::size_t kJoinPhaseCount = 4;
+
+  /// The fast-join automaton as data: kJoinTransitionTable[from][to] is true
+  /// iff the recovery layer may move a joiner from `from` to `to`. Every
+  /// mutation of join_phase_ flows through transition_to(), which CHECKs
+  /// against this table (audited by the sinrlint R2 rule).
+  ///
+  /// Edges (row = from):
+  ///   any         → kInactive    revival reset on a repeated on_wake, or
+  ///                              fallback to the full MW protocol
+  ///   kInactive   → kListening   joiner wake: collect neighbor colors
+  ///   kListening  → kConfirming  listen over, tentative color picked
+  ///   kConfirming → kConfirming  collision detected: re-pick, restart window
+  ///   kConfirming → kConfirmed   confirmation window survived
+  ///   kConfirmed  → kConfirming  late collision: local repair
+  static constexpr bool kJoinTransitionTable[kJoinPhaseCount][kJoinPhaseCount] = {
+      //                to: inactive listen confirming confirmed
+      /* kInactive   */ {true, true, false, false},
+      /* kListening  */ {true, false, true, false},
+      /* kConfirming */ {true, false, true, true},
+      /* kConfirmed  */ {true, false, true, false},
+  };
+
+  /// True iff the fast-join automaton allows `from` → `to`.
+  static constexpr bool join_transition_allowed(JoinPhase from, JoinPhase to) {
+    return kJoinTransitionTable[static_cast<std::size_t>(from)]
+                               [static_cast<std::size_t>(to)];
+  }
+
+  /// Sole mutation point of join_phase_: validates the edge against
+  /// kJoinTransitionTable (aborts on an illegal transition).
+  void transition_to(JoinPhase next);
   void start_inner(radio::Slot slot);
   void fail_over(radio::Slot slot);
   void note_heard_color(graph::Color color);
@@ -93,7 +126,7 @@ class SelfHealingNode final : public radio::Protocol {
   radio::Slot first_failover_slot_ = -1;
 
   // Fast-join state.
-  JoinPhase join_phase_ = JoinPhase::kInactive;
+  JoinPhase join_phase_{JoinPhase::kInactive};
   radio::Slot join_listen_remaining_ = 0;
   radio::Slot confirm_remaining_ = 0;
   std::set<graph::Color> heard_colors_;

@@ -1,0 +1,96 @@
+// Determinism regression: the simulator's evidence for Theorems 1–3 is only
+// trustworthy if a run is a pure function of (scenario, seed). Each test runs
+// the same seeded scenario twice through a fresh driver and requires the
+// serialized JSON reports to be BYTE-identical — any hash-order iteration,
+// uninitialised read or hidden global sneaking into results shows up here as
+// a diff (sinrlint R1/R3 guard the same property statically).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "core/adaptive.h"
+#include "core/mw_protocol.h"
+#include "core/report.h"
+#include "geometry/deployment.h"
+#include "graph/unit_disk_graph.h"
+#include "robust/recovery_protocol.h"
+
+namespace sinrcolor {
+namespace {
+
+graph::UnitDiskGraph scenario_graph(std::uint64_t seed) {
+  common::Rng rng(seed);
+  return graph::UnitDiskGraph(geometry::uniform_deployment(60, 3.5, rng), 1.0);
+}
+
+TEST(Determinism, PlainMwRunReportIsByteStable) {
+  const auto g = scenario_graph(77);
+  core::MwRunConfig cfg;
+  cfg.seed = 42;
+  const std::string first = core::to_json(core::run_mw_coloring(g, cfg));
+  const std::string second = core::to_json(core::run_mw_coloring(g, cfg));
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Determinism, StaggeredWakeupWithFailuresIsByteStable) {
+  const auto g = scenario_graph(78);
+  core::MwRunConfig cfg;
+  cfg.seed = 9001;
+  cfg.wakeup = core::WakeupKind::kUniform;
+  cfg.wakeup_window = 64;
+  cfg.failure_fraction = 0.05;
+  cfg.failure_window = 200;
+  const std::string first = core::to_json(core::run_mw_coloring(g, cfg));
+  const std::string second = core::to_json(core::run_mw_coloring(g, cfg));
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, RecoveryRunReportIsByteStable) {
+  const auto g = scenario_graph(79);
+  core::MwRunConfig cfg;
+  cfg.seed = 1234;
+  cfg.recovery.enabled = true;
+  cfg.recovery.join_fraction = 0.10;
+  cfg.recovery.join_at = 50;
+  cfg.recovery.join_window = 100;
+  cfg.failure_fraction = 0.05;
+  cfg.failure_window = 100;
+  const std::string first = core::to_json(robust::run_recovering_mw(g, cfg));
+  const std::string second = core::to_json(robust::run_recovering_mw(g, cfg));
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, AdaptiveRunIsSeedStable) {
+  // The adaptive variant has no JSON report; compare the full coloring and
+  // the restart/Δ̂ statistics field by field (heard_ feeds restart decisions,
+  // which is exactly the hazard the std::set migration closed).
+  const auto g = scenario_graph(80);
+  core::AdaptiveRunConfig cfg;
+  cfg.seed = 4242;
+  const auto first = core::run_adaptive_coloring(g, cfg);
+  const auto second = core::run_adaptive_coloring(g, cfg);
+  EXPECT_EQ(first.coloring.color, second.coloring.color);
+  EXPECT_EQ(first.total_restarts, second.total_restarts);
+  EXPECT_EQ(first.max_final_delta, second.max_final_delta);
+  EXPECT_EQ(first.mean_final_delta, second.mean_final_delta);
+  EXPECT_EQ(first.metrics.slots_executed, second.metrics.slots_executed);
+  EXPECT_EQ(first.metrics.total_transmissions, second.metrics.total_transmissions);
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentTraffic) {
+  // Sanity counterpart: the byte-stability above is not vacuous (the report
+  // does depend on the seed).
+  const auto g = scenario_graph(81);
+  core::MwRunConfig cfg;
+  cfg.seed = 1;
+  const std::string first = core::to_json(core::run_mw_coloring(g, cfg));
+  cfg.seed = 2;
+  const std::string second = core::to_json(core::run_mw_coloring(g, cfg));
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace sinrcolor

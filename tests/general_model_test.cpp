@@ -138,9 +138,9 @@ TEST_P(GeneralStrategyTest, MatchingIdenticalUnderSinr) {
   const auto phys = phys_for_radius(1.0);
   const auto schedule = theorem3_schedule(g, phys);
 
-  auto make = [](graph::NodeId v, const auto& graph) {
-    return std::unique_ptr<GeneralAlgorithm>(
-        new RandomizedMatching(v, graph, 99));
+  auto make = [](graph::NodeId v,
+                 const auto& graph) -> std::unique_ptr<GeneralAlgorithm> {
+    return std::make_unique<RandomizedMatching>(v, graph, 99);
   };
   auto ref_nodes = instantiate_general(g, make);
   auto sim_nodes = instantiate_general(g, make);
@@ -167,9 +167,10 @@ TEST_P(GeneralStrategyTest, AggregationIdenticalUnderSinr) {
   const auto schedule = theorem3_schedule(g, phys);
   const auto parents = graph::bfs_parents(g, 0);
 
-  auto make = [&](graph::NodeId v, const auto&) {
-    return std::unique_ptr<GeneralAlgorithm>(
-        new TreeAggregation(v, parents[v], static_cast<std::int64_t>(v) + 1));
+  auto make = [&](graph::NodeId v,
+                  const auto&) -> std::unique_ptr<GeneralAlgorithm> {
+    return std::make_unique<TreeAggregation>(v, parents[v],
+                                             static_cast<std::int64_t>(v) + 1);
   };
   auto ref_nodes = instantiate_general(g, make);
   auto sim_nodes = instantiate_general(g, make);
@@ -194,9 +195,9 @@ TEST(GeneralSimulation, SlotAccountingByStrategy) {
   const auto schedule = theorem3_schedule(g, phys);
   const auto parents = graph::bfs_parents(g, 0);
 
-  auto make = [&](graph::NodeId v, const auto&) {
-    return std::unique_ptr<GeneralAlgorithm>(
-        new TreeAggregation(v, parents[v], 1));
+  auto make = [&](graph::NodeId v,
+                  const auto&) -> std::unique_ptr<GeneralAlgorithm> {
+    return std::make_unique<TreeAggregation>(v, parents[v], 1);
   };
   auto bundled_nodes = instantiate_general(g, make);
   auto sequential_nodes = instantiate_general(g, make);

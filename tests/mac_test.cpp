@@ -132,7 +132,9 @@ TEST(MessagePassing, FloodingMatchesBfsOracle) {
       EXPECT_EQ(algo->distance(), FloodingBfs::kUndiscovered);
     } else {
       EXPECT_EQ(algo->distance(), oracle_dist[v]);
-      if (v != 0) EXPECT_EQ(algo->parent(), oracle_parent[v]);
+      if (v != 0) {
+        EXPECT_EQ(algo->parent(), oracle_parent[v]);
+      }
     }
   }
 }
@@ -177,8 +179,9 @@ TEST_P(SimulationEquivalenceTest, FloodingIdenticalUnderSinr) {
   const auto coloring = baseline::greedy_distance_d_coloring(g, d + 1.0);
   const auto schedule = TdmaSchedule::from_coloring(coloring);
 
-  auto make = [](graph::NodeId v, const graph::UnitDiskGraph&) {
-    return std::unique_ptr<UniformAlgorithm>(new FloodingBfs(v, 0));
+  auto make = [](graph::NodeId v,
+                 const graph::UnitDiskGraph&) -> std::unique_ptr<UniformAlgorithm> {
+    return std::make_unique<FloodingBfs>(v, 0);
   };
   auto ref_nodes = instantiate(g, make);
   auto sim_nodes = instantiate(g, make);
@@ -204,8 +207,9 @@ TEST_P(SimulationEquivalenceTest, LubyIdenticalUnderSinr) {
   const auto coloring = baseline::greedy_distance_d_coloring(g, d + 1.0);
   const auto schedule = TdmaSchedule::from_coloring(coloring);
 
-  auto make = [](graph::NodeId v, const graph::UnitDiskGraph&) {
-    return std::unique_ptr<UniformAlgorithm>(new LubyMis(v, 4242));
+  auto make = [](graph::NodeId v,
+                 const graph::UnitDiskGraph&) -> std::unique_ptr<UniformAlgorithm> {
+    return std::make_unique<LubyMis>(v, 4242);
   };
   auto ref_nodes = instantiate(g, make);
   auto sim_nodes = instantiate(g, make);

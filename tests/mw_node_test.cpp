@@ -346,5 +346,50 @@ TEST(MwNodeMachine, CompeteMessagesOfOtherClassesAreIgnored) {
   EXPECT_EQ(node.reset_count(), 0u);
 }
 
+TEST(MwTransitionTable, EncodesTheFig13Automaton) {
+  using K = MwStateKind;
+  // A sleeping node can only enter A_0's listening phase.
+  for (std::size_t to = 0; to < kMwStateCount; ++to) {
+    EXPECT_EQ(mw_transition_allowed(K::kAsleep, static_cast<K>(to)),
+              static_cast<K>(to) == K::kListening);
+  }
+  // kLeader / kColored are terminal: no outgoing edges, ever.
+  for (std::size_t to = 0; to < kMwStateCount; ++to) {
+    EXPECT_FALSE(mw_transition_allowed(K::kLeader, static_cast<K>(to)));
+    EXPECT_FALSE(mw_transition_allowed(K::kColored, static_cast<K>(to)));
+  }
+  // Nothing transitions back to kAsleep (wake-up is irreversible).
+  for (std::size_t from = 0; from < kMwStateCount; ++from) {
+    EXPECT_FALSE(mw_transition_allowed(static_cast<K>(from), K::kAsleep));
+  }
+  // Competition outcomes (Fig. 1 lines 8-15).
+  EXPECT_TRUE(mw_transition_allowed(K::kCompeting, K::kLeader));
+  EXPECT_TRUE(mw_transition_allowed(K::kCompeting, K::kColored));
+  // A requester can only re-enter a listening phase (grant or failover) —
+  // never decide a color directly.
+  EXPECT_TRUE(mw_transition_allowed(K::kRequesting, K::kListening));
+  EXPECT_FALSE(mw_transition_allowed(K::kRequesting, K::kColored));
+  EXPECT_FALSE(mw_transition_allowed(K::kRequesting, K::kLeader));
+}
+
+TEST(MwTransitionTable, IllegalMutationsAbort) {
+  const auto params = tiny_params();
+  // Waking a node twice violates kAsleep -> kListening (already listening
+  // ... -> kListening is legal, but on_wake's own precondition catches it).
+  MwNode woken(0, params);
+  woken.on_wake(0);
+  EXPECT_DEATH(woken.on_wake(1), "kAsleep");
+
+  // restart_election on a decided node would be a kLeader -> kListening
+  // edge; the tightened precondition refuses before the table would abort.
+  MwNode leader(0, params);
+  common::Rng rng(2);
+  leader.on_wake(0);
+  radio::Slot slot = 0;
+  for (int i = 0; i < 13; ++i) (void)step(leader, slot, rng);
+  ASSERT_EQ(leader.state(), MwStateKind::kLeader);
+  EXPECT_DEATH(leader.restart_election(), "undecided");
+}
+
 }  // namespace
 }  // namespace sinrcolor::core

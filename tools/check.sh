@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Full local gate: configure, build and test the plain tree, then repeat
-# under AddressSanitizer + UBSan (skip with --no-sanitize for a quick pass).
+# Full local gate: sinrlint, then configure/build/test the plain tree, then
+# repeat under AddressSanitizer + UBSan. Stages can be selected individually.
 #
-#   tools/check.sh [--no-sanitize] [extra cmake args...]
+#   tools/check.sh [--no-sanitize] [--lint] [--tidy] [extra cmake args...]
 #
+#   (default)      lint + plain build/test + asan build/test
+#   --no-sanitize  lint + plain build/test             (quick pass)
+#   --lint         sinrlint only                       (seconds)
+#   --tidy         clang-tidy only (skips with a notice when not installed)
+#
+# Stage flags combine (e.g. `--lint --tidy` runs both analysis stages and no
+# builds). Remaining arguments are forwarded to every cmake configure step.
 # Run from anywhere inside the repository.
 set -euo pipefail
 
@@ -11,10 +18,15 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 sanitize=1
-if [[ "${1:-}" == "--no-sanitize" ]]; then
-  sanitize=0
-  shift
-fi
+only_stages=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --no-sanitize) sanitize=0; shift ;;
+    --lint) only_stages+=(lint); shift ;;
+    --tidy) only_stages+=(tidy); shift ;;
+    *) break ;;
+  esac
+done
 
 run_tree() {
   local dir="$1"
@@ -23,6 +35,35 @@ run_tree() {
   cmake --build "$dir" -j "$jobs"
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
+
+run_lint() {
+  echo "== sinrlint (R1–R5) =="
+  python3 "$repo/tools/lint/sinrlint_test.py"
+  python3 "$repo/tools/lint/sinrlint.py" --root "$repo"
+}
+
+run_tidy() {
+  echo "== clang-tidy =="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed — skipping the tidy stage (CI runs it)"
+    return 0
+  fi
+  cmake -B "$repo/build" -S "$repo" "$@"
+  cmake --build "$repo/build" -t tidy
+}
+
+if [[ ${#only_stages[@]} -gt 0 ]]; then
+  for stage in "${only_stages[@]}"; do
+    case "$stage" in
+      lint) run_lint ;;
+      tidy) run_tidy "$@" ;;
+    esac
+  done
+  echo "selected stages passed"
+  exit 0
+fi
+
+run_lint
 
 echo "== plain build =="
 run_tree "$repo/build" "$@"

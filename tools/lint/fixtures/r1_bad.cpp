@@ -1,0 +1,8 @@
+// R1 fixture: unordered containers anywhere in scanned code are flagged.
+#include <unordered_map>
+#include <unordered_set>
+
+struct ReportBuilder {
+  std::unordered_map<int, double> per_node;   // finding
+  std::unordered_set<int> decided;            // finding
+};

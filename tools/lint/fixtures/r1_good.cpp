@@ -1,0 +1,10 @@
+// R1 fixture: ordered containers are fine; comments/strings never match.
+#include <map>
+#include <set>
+
+// std::unordered_map mentioned in a comment only.
+struct ReportBuilder {
+  std::map<int, double> per_node;
+  std::set<int> decided;
+  const char* doc = "std::unordered_set<int> in a string literal";
+};

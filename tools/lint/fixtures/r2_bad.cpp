@@ -1,0 +1,11 @@
+// R2 fixture: guarded state fields written outside transition_to().
+enum class Phase { kIdle, kBusy };
+
+struct Node {
+  void poke() {
+    state_ = Phase::kBusy;       // finding: direct write
+    join_phase_ = Phase::kIdle;  // finding: direct write
+  }
+  Phase state_{Phase::kIdle};
+  Phase join_phase_{Phase::kIdle};
+};

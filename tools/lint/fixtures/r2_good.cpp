@@ -1,0 +1,13 @@
+// R2 fixture: mutations inside transition_to() are the sanctioned path;
+// reads and comparisons never match.
+enum class Phase { kIdle, kBusy };
+
+struct Node {
+  void transition_to(Phase next) {
+    state_ = next;       // sanctioned: inside transition_to
+    join_phase_ = next;  // sanctioned: inside transition_to
+  }
+  bool busy() const { return state_ == Phase::kBusy; }
+  Phase state_{Phase::kIdle};       // brace-init declaration: no assignment
+  Phase join_phase_{Phase::kIdle};
+};

@@ -1,0 +1,10 @@
+// R3 fixture: naked randomness sources outside src/common/rng.*.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;   // finding
+  std::mt19937 gen(rd());  // finding
+  srand(42);               // finding
+  return rand();           // finding
+}

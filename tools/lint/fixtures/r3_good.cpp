@@ -1,0 +1,11 @@
+// R3 fixture: the seeded project Rng is the sanctioned source; identifiers
+// merely containing "rand" and comments mentioning std::mt19937 never match.
+// (much faster than std::mt19937_64, see src/common/rng.h)
+
+int my_grand_total(int grand) { return grand; }
+
+struct Rng {
+  unsigned long long below(unsigned long long bound);
+};
+
+unsigned long long draw(Rng& rng) { return rng.below(10); }

@@ -1,0 +1,15 @@
+// R4 fixture: protocol entry points under src/ without a contract CHECK.
+struct Msg {};
+
+struct Node {
+  void on_wake(long slot);
+  void on_receive(long slot, const Msg& msg) {  // finding: no CHECK
+    last_ = slot;
+    (void)msg;
+  }
+  long last_ = 0;
+};
+
+void Node::on_wake(long slot) {  // finding: no CHECK
+  last_ = slot;
+}

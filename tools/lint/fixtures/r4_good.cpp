@@ -1,0 +1,22 @@
+// R4 fixture: entry points guarding their narrow contract; declarations and
+// call sites are not definitions and never match.
+#define SINRCOLOR_CHECK(x) ((void)0)
+#define SINRCOLOR_CHECK_MSG(x, m) ((void)0)
+
+struct Msg {};
+
+struct Node {
+  void on_wake(long slot);
+  void on_receive(long slot, const Msg& msg) {
+    SINRCOLOR_CHECK_MSG(slot >= 0, "delivery before wake");
+    (void)msg;
+  }
+  long last_ = 0;
+};
+
+void Node::on_wake(long slot) {
+  SINRCOLOR_CHECK(slot >= 0);
+  last_ = slot;
+}
+
+void drive(Node& n) { n.on_wake(0); }  // call, not a definition

@@ -1,0 +1,8 @@
+// R5 fixture: float arithmetic in SINR/interference scope.
+struct Field {
+  float accumulate(const float* power, int n) {  // findings: float x3
+    float sum = 0.0f;
+    for (int i = 0; i < n; ++i) sum += power[i];
+    return sum;
+  }
+};

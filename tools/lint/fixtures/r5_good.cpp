@@ -1,0 +1,9 @@
+// R5 fixture: double accumulation; "float" in comments never matches.
+// (interference sums must not be float — see docs/STATIC_ANALYSIS.md)
+struct Field {
+  double accumulate(const double* power, int n) {
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += power[i];
+    return sum;
+  }
+};

@@ -1,0 +1,356 @@
+#!/usr/bin/env python3
+"""sinrlint — project-specific static analysis for the sinrcolor tree.
+
+Five token/regex-level rules that the generic tools (clang-tidy, -W flags)
+cannot express, each protecting the credibility of the simulation evidence
+for the paper's Theorems 1-3 (see docs/STATIC_ANALYSIS.md for rationale):
+
+  R1 determinism-unordered   no std::unordered_{map,set,...} anywhere results,
+                             reports, colors or RNG draws could be fed from
+                             iteration order (applied tree-wide: hash-order is
+                             implementation-defined, so same-seed runs would
+                             not be bit-stable).
+  R2 state-guard             no direct writes to the guarded state-machine
+                             fields (MwNode::state_, SelfHealingNode::
+                             join_phase_) outside the sanctioned
+                             transition_to() helper, which validates every
+                             edge against the declared transition table.
+  R3 rng-discipline          no rand(), srand(), std::random_device or
+                             std::mt19937 outside src/common/rng.* — all
+                             randomness must flow from the single seeded
+                             xoshiro256++ stream.
+  R4 contract-guard          every protocol entry point the simulator calls
+                             (on_wake / begin_slot / on_receive definitions
+                             under src/) guards its narrow contract with a
+                             SINRCOLOR_CHECK.
+  R5 float-accumulation      no `float` in SINR / interference arithmetic
+                             (src/sinr, src/radio): power sums span many
+                             orders of magnitude and float accumulation
+                             changes reception outcomes.
+
+Findings can be suppressed through the allowlist file (one justified entry
+per suppression; see tools/lint/allowlist.txt). Exit status: 0 clean,
+1 findings, 2 bad invocation / malformed allowlist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+DEFAULT_SCAN_DIRS = ("src", "tools", "bench", "tests", "examples")
+EXCLUDED_DIRS = ("tools/lint/fixtures",)
+
+# R2: fields whose every assignment must happen inside SANCTIONED_FN.
+GUARDED_FIELDS = ("state_", "join_phase_")
+SANCTIONED_FN = "transition_to"
+
+# R3: the only files allowed to touch raw randomness sources.
+RNG_HOME = ("src/common/rng.h", "src/common/rng.cpp")
+
+# R4: simulator-driven entry points with narrow contracts, and where the rule
+# applies (test doubles outside src/ keep wide contracts on purpose).
+ENTRY_POINTS = ("on_wake", "begin_slot", "on_receive")
+R4_SCOPE = ("src/",)
+
+# R5: subsystems doing SINR / interference arithmetic.
+R5_SCOPE = ("src/sinr/", "src/radio/")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class AllowEntry:
+    rule: str
+    glob: str
+    justification: str
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines.
+
+    Replaced characters become spaces so that byte offsets and line numbers
+    of the surviving code are unchanged. Raw strings are handled; trigraphs
+    and line continuations inside literals are not (absent from this tree).
+    """
+    out = list(text)
+    i, n = 0, len(text)
+
+    def blank(start: int, end: int) -> None:
+        for k in range(start, end):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            blank(i, end)
+            i = end
+        elif ch == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            blank(i, end)
+            i = end
+        elif ch == '"' and text[max(0, i - 1) : i + 1] == 'R"':
+            # Raw string literal R"delim( ... )delim"
+            m = re.match(r'R"([^()\s\\]{0,16})\(', text[i - 1 : i + 20])
+            if m:
+                closer = f"){m.group(1)}\""
+                end = text.find(closer, i + 1)
+                end = n if end == -1 else end + len(closer)
+                blank(i + 1, end)
+                i = end
+            else:
+                i += 1
+        elif ch in ('"', "'"):
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 2 if text[j] == "\\" else 1
+            end = min(j + 1, n)
+            blank(i + 1, end - 1)
+            i = end
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def match_paren(text: str, open_idx: int) -> int:
+    """Index just past the parenthesis group opening at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Index just past the brace block opening at open_idx, or len(text)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def function_body_spans(stripped: str, fn_name: str) -> list[tuple[int, int]]:
+    """(start, end) byte spans of the bodies of every definition of fn_name."""
+    spans = []
+    for m in re.finditer(rf"\b{re.escape(fn_name)}\s*\(", stripped):
+        after_params = match_paren(stripped, m.end() - 1)
+        if after_params == -1:
+            continue
+        # Skip trailing qualifiers between the parameter list and the body.
+        tail = re.match(r"(\s|const|noexcept|override|final|->[\w:<>&\s*]+)*\{",
+                        stripped[after_params:])
+        if not tail:
+            continue  # declaration or call, not a definition
+        body_open = after_params + tail.end() - 1
+        spans.append((body_open, match_brace(stripped, body_open)))
+    return spans
+
+
+# --- rules -----------------------------------------------------------------
+
+
+def rule_r1(path: str, stripped: str) -> list[Finding]:
+    findings = []
+    for m in re.finditer(r"\bstd::unordered_(map|set|multimap|multiset)\b", stripped):
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "R1",
+            f"std::unordered_{m.group(1)} iteration order is implementation-"
+            "defined; use std::map/std::set or a sorted vector so same-seed "
+            "runs stay bit-stable"))
+    return findings
+
+
+def rule_r2(path: str, stripped: str) -> list[Finding]:
+    sanctioned = function_body_spans(stripped, SANCTIONED_FN)
+    findings = []
+    fields = "|".join(re.escape(f) for f in GUARDED_FIELDS)
+    for m in re.finditer(
+            rf"\b({fields})\s*(=(?!=)|\+=|-=|\|=|&=|\^=|\+\+|--)", stripped):
+        if any(a <= m.start() < b for a, b in sanctioned):
+            continue
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "R2",
+            f"direct write to guarded state field '{m.group(1)}' — route the "
+            f"mutation through {SANCTIONED_FN}(), which validates the edge "
+            "against the declared transition table"))
+    return findings
+
+
+def rule_r3(path: str, stripped: str) -> list[Finding]:
+    if path in RNG_HOME:
+        return []
+    patterns = (
+        (r"\bstd::random_device\b", "std::random_device"),
+        (r"\bstd::mt19937(_64)?\b", "std::mt19937"),
+        (r"(?<![A-Za-z0-9_:.>])s?rand\s*\(", "rand()/srand()"),
+    )
+    findings = []
+    for pattern, what in patterns:
+        for m in re.finditer(pattern, stripped):
+            findings.append(Finding(
+                path, line_of(stripped, m.start()), "R3",
+                f"naked randomness source {what} — all randomness must flow "
+                "from the seeded common::Rng stream (src/common/rng.h)"))
+    return findings
+
+
+def rule_r4(path: str, stripped: str) -> list[Finding]:
+    if not any(path.startswith(scope) for scope in R4_SCOPE):
+        return []
+    findings = []
+    for entry in ENTRY_POINTS:
+        for start, end in function_body_spans(stripped, entry):
+            if "SINRCOLOR_CHECK" in stripped[start:end]:
+                continue
+            findings.append(Finding(
+                path, line_of(stripped, start), "R4",
+                f"protocol entry point {entry}() does not guard its narrow "
+                "contract with SINRCOLOR_CHECK / SINRCOLOR_CHECK_MSG"))
+    return findings
+
+
+def rule_r5(path: str, stripped: str) -> list[Finding]:
+    if not any(path.startswith(scope) for scope in R5_SCOPE):
+        return []
+    findings = []
+    for m in re.finditer(r"\bfloat\b", stripped):
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "R5",
+            "float in SINR/interference code — power sums span orders of "
+            "magnitude; accumulate in double (Lemma 3 margins are tighter "
+            "than float epsilon)"))
+    return findings
+
+
+RULES = (rule_r1, rule_r2, rule_r3, rule_r4, rule_r5)
+
+
+# --- allowlist -------------------------------------------------------------
+
+
+def parse_allowlist(path: str) -> list[AllowEntry]:
+    entries = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                raise ValueError(
+                    f"{path}:{lineno}: allowlist entry needs "
+                    "'<rule> <path-glob> <justification>'")
+            rule, glob, justification = parts
+            if not re.fullmatch(r"R[1-5]", rule):
+                raise ValueError(f"{path}:{lineno}: unknown rule '{rule}'")
+            entries.append(AllowEntry(rule, glob, justification))
+    return entries
+
+
+def allowed(finding: Finding, entries: list[AllowEntry]) -> bool:
+    return any(e.rule == finding.rule and fnmatch.fnmatch(finding.path, e.glob)
+               for e in entries)
+
+
+# --- driver ----------------------------------------------------------------
+
+
+def lint_file(path: str, text: str) -> list[Finding]:
+    """All findings for one file; `path` must be repo-relative."""
+    stripped = strip_comments_and_strings(text)
+    findings = []
+    for rule in RULES:
+        findings.extend(rule(path, stripped))
+    return findings
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    if paths:
+        rels = [os.path.relpath(p, root).replace(os.sep, "/") for p in paths]
+        return sorted(r for r in rels if r.endswith(CXX_EXTENSIONS))
+    rels = []
+    for scan_dir in DEFAULT_SCAN_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, scan_dir)):
+            for name in names:
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                rel = rel.replace(os.sep, "/")
+                if rel.endswith(CXX_EXTENSIONS) and not any(
+                        rel.startswith(d + "/") for d in EXCLUDED_DIRS):
+                    rels.append(rel)
+    return sorted(rels)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: tools/lint/allowlist.txt)")
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: the whole tree)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root or
+                           os.path.join(os.path.dirname(__file__), "..", ".."))
+    allowlist_path = args.allowlist or os.path.join(root, "tools/lint/allowlist.txt")
+    try:
+        entries = parse_allowlist(allowlist_path) if os.path.exists(allowlist_path) else []
+    except ValueError as err:
+        print(f"sinrlint: {err}", file=sys.stderr)
+        return 2
+
+    files = collect_files(root, args.paths)
+    if not files:
+        print("sinrlint: no C++ files to lint", file=sys.stderr)
+        return 2
+
+    findings = []
+    for rel in files:
+        with open(os.path.join(root, rel), encoding="utf-8") as fh:
+            findings.extend(f for f in lint_file(rel, fh.read())
+                            if not allowed(f, entries))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"sinrlint: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"sinrlint: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Unit tests for sinrlint: every rule must fire on its bad fixture and stay
+silent on its good fixture, and the allowlist / comment-stripper machinery
+must behave. Run directly or via ctest (test name `sinrlint_unit`)."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import sinrlint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+def fixture(name):
+    with open(os.path.join(FIXTURES, name), encoding="utf-8") as fh:
+        return fh.read()
+
+
+def lint(name, as_path):
+    """Lint fixture `name` as if it lived at repo-relative `as_path`."""
+    return sinrlint.lint_file(as_path, fixture(name))
+
+
+def rules_hit(findings):
+    return sorted({f.rule for f in findings})
+
+
+class RuleFixtureTest(unittest.TestCase):
+    def test_r1_fires_on_unordered_containers(self):
+        findings = [f for f in lint("r1_bad.cpp", "src/core/x.cpp")
+                    if f.rule == "R1"]
+        self.assertEqual(len(findings), 2)
+
+    def test_r1_silent_on_ordered_containers(self):
+        self.assertEqual(lint("r1_good.cpp", "src/core/x.cpp"), [])
+
+    def test_r2_fires_on_direct_state_writes(self):
+        findings = [f for f in lint("r2_bad.cpp", "src/core/x.cpp")
+                    if f.rule == "R2"]
+        self.assertEqual(len(findings), 2)
+        self.assertTrue(all("transition_to" in f.message for f in findings))
+
+    def test_r2_sanctions_transition_to_bodies(self):
+        self.assertEqual(lint("r2_good.cpp", "src/core/x.cpp"), [])
+
+    def test_r3_fires_on_naked_randomness(self):
+        findings = [f for f in lint("r3_bad.cpp", "src/core/x.cpp")
+                    if f.rule == "R3"]
+        self.assertEqual(len(findings), 4)
+
+    def test_r3_silent_on_project_rng_and_lookalikes(self):
+        self.assertEqual(lint("r3_good.cpp", "src/core/x.cpp"), [])
+
+    def test_r3_exempts_rng_home(self):
+        self.assertEqual(lint("r3_bad.cpp", "src/common/rng.cpp"), [])
+
+    def test_r4_fires_on_unguarded_entry_points(self):
+        findings = [f for f in lint("r4_bad.cpp", "src/core/x.cpp")
+                    if f.rule == "R4"]
+        self.assertEqual(len(findings), 2)
+        self.assertEqual(sorted("on_wake" in f.message or "on_receive" in f.message
+                                for f in findings), [True, True])
+
+    def test_r4_silent_on_guarded_entry_points(self):
+        self.assertEqual(lint("r4_good.cpp", "src/core/x.cpp"), [])
+
+    def test_r4_scoped_to_src(self):
+        self.assertEqual(lint("r4_bad.cpp", "tests/x.cpp"), [])
+
+    def test_r5_fires_on_float_in_sinr_scope(self):
+        findings = [f for f in lint("r5_bad.cpp", "src/sinr/x.cpp")
+                    if f.rule == "R5"]
+        self.assertGreaterEqual(len(findings), 3)
+        findings = [f for f in lint("r5_bad.cpp", "src/radio/x.cpp")
+                    if f.rule == "R5"]
+        self.assertGreaterEqual(len(findings), 3)
+
+    def test_r5_silent_on_double_and_out_of_scope(self):
+        self.assertEqual(lint("r5_good.cpp", "src/sinr/x.cpp"), [])
+        self.assertEqual([f for f in lint("r5_bad.cpp", "src/graph/x.cpp")
+                          if f.rule == "R5"], [])
+
+
+class StripperTest(unittest.TestCase):
+    def test_strips_line_and_block_comments(self):
+        text = "int a; // std::unordered_map\n/* rand( */ int b;\n"
+        stripped = sinrlint.strip_comments_and_strings(text)
+        self.assertNotIn("unordered_map", stripped)
+        self.assertNotIn("rand(", stripped)
+        self.assertIn("int a;", stripped)
+        self.assertIn("int b;", stripped)
+
+    def test_strips_string_literals_preserving_lines(self):
+        text = 'const char* s = "std::mt19937\\n rand(";\nint c;\n'
+        stripped = sinrlint.strip_comments_and_strings(text)
+        self.assertNotIn("mt19937", stripped)
+        self.assertEqual(text.count("\n"), stripped.count("\n"))
+
+    def test_line_numbers_survive_stripping(self):
+        text = "// comment\n\nstd::unordered_set<int> s;\n"
+        findings = sinrlint.lint_file("src/core/x.cpp", text)
+        self.assertEqual([f.line for f in findings if f.rule == "R1"], [3])
+
+
+class AllowlistTest(unittest.TestCase):
+    def test_allow_entry_suppresses_matching_rule_and_path(self):
+        entries = [sinrlint.AllowEntry("R1", "src/legacy/*", "third-party idiom")]
+        finding = sinrlint.Finding("src/legacy/old.cpp", 3, "R1", "m")
+        other_rule = sinrlint.Finding("src/legacy/old.cpp", 3, "R2", "m")
+        other_path = sinrlint.Finding("src/core/new.cpp", 3, "R1", "m")
+        self.assertTrue(sinrlint.allowed(finding, entries))
+        self.assertFalse(sinrlint.allowed(other_rule, entries))
+        self.assertFalse(sinrlint.allowed(other_path, entries))
+
+    def test_malformed_allowlist_rejected(self):
+        import tempfile
+        with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as fh:
+            fh.write("R1 src/foo.cpp\n")  # missing justification
+            path = fh.name
+        try:
+            with self.assertRaises(ValueError):
+                sinrlint.parse_allowlist(path)
+        finally:
+            os.unlink(path)
+
+    def test_repo_allowlist_parses(self):
+        repo_allowlist = os.path.join(os.path.dirname(FIXTURES), "allowlist.txt")
+        sinrlint.parse_allowlist(repo_allowlist)  # must not raise
+
+
+if __name__ == "__main__":
+    unittest.main()
