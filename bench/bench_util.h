@@ -3,15 +3,24 @@
 // Every harness prints the experiment id, the claim it reproduces, a table of
 // measured rows, and a PASS/FAIL verdict for the claim's shape, so
 // `for b in build/bench/*; do $b; done` yields a self-contained report.
+// Passing `--metrics-out=PATH` to a wired harness additionally attaches an
+// obs::RunObservation to its runs and writes the accumulated metrics
+// registry (counters + histograms across every run of the sweep) as a JSON
+// sidecar — machine-readable ground truth next to the human-readable table.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 
+#include "common/cli.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "geometry/deployment.h"
 #include "graph/unit_disk_graph.h"
+#include "obs/observation.h"
 #include "sinr/params.h"
 
 namespace sinrcolor::bench {
@@ -46,5 +55,53 @@ inline int print_verdict(bool pass, const std::string& detail) {
   std::printf("verdict: %s — %s\n", pass ? "PASS" : "FAIL", detail.c_str());
   return pass ? 0 : 1;
 }
+
+/// Opt-in metrics sidecar, driven by `--metrics-out=PATH`. When the flag is
+/// absent, observation() is null and the harness runs exactly as before
+/// (emission sites see a null sink). When present, attach observation() to
+/// each run and call write() once at the end; every run of the sweep
+/// accumulates into the same registry. The trace ring is kept small — the
+/// sidecar is about aggregate metrics, not event-level replay.
+class MetricsSidecar {
+ public:
+  explicit MetricsSidecar(const common::Cli& cli)
+      : path_(cli.get("metrics-out", "")) {
+    if (!path_.empty()) {
+      observation_ =
+          std::make_unique<obs::RunObservation>(std::size_t{1} << 12);
+    }
+  }
+
+  obs::RunObservation* observation() { return observation_.get(); }
+
+  /// Writes {experiment, trace totals, metrics registry}; no-op when the
+  /// flag was absent. Returns false on I/O failure (after printing).
+  bool write(const char* experiment_id) const {
+    if (observation_ == nullptr) return true;
+    common::JsonWriter json;
+    json.begin_object();
+    json.field("experiment", experiment_id);
+    json.key("trace");
+    json.begin_object();
+    json.field("recorded", observation_->trace.recorded());
+    json.field("dropped", observation_->trace.dropped());
+    json.end_object();
+    json.key("metrics");
+    observation_->metrics.write_json(json);
+    json.end_object();
+    std::ofstream out(path_);
+    if (!out) {
+      std::printf("cannot write metrics sidecar %s\n", path_.c_str());
+      return false;
+    }
+    out << json.str() << '\n';
+    std::printf("metrics sidecar written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::RunObservation> observation_;
+};
 
 }  // namespace sinrcolor::bench

@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
   const auto n = static_cast<std::size_t>(cli.get_int("n", 200));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 3));
+  bench::MetricsSidecar sidecar(cli);
   cli.reject_unknown();
 
   bench::print_experiment_header(
@@ -182,6 +183,9 @@ int main(int argc, char** argv) {
       {
         targeted.recovery.enabled = true;
         robust::RecoveryInstance recovery(g, targeted);
+        if (sidecar.observation() != nullptr) {
+          recovery.attach_observation(sidecar.observation());
+        }
         for (std::size_t k = 0; k < plan.victims.size(); ++k) {
           recovery.simulator().set_failure_slot(plan.victims[k], plan.slots[k]);
         }
@@ -222,6 +226,7 @@ int main(int argc, char** argv) {
       "the full protocol\n",
       joined.mean(), join_conflicts.mean(), join_fallbacks.mean());
 
+  sidecar.write("x17_recovery");
   const bool baseline_stalls = serving_base.stalled.mean() > 0.0;
   const bool recovery_clears = early_rec.stalled.mean() == 0.0 &&
                                serving_rec.stalled.mean() == 0.0 &&

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const double avg = cli.get_double("avg-degree", 10.0);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 2));
   const std::string csv_path = cli.get("csv", "");
+  bench::MetricsSidecar sidecar(cli);
   cli.reject_unknown();
 
   bench::print_experiment_header(
@@ -41,7 +42,11 @@ int main(int argc, char** argv) {
       const auto g = bench::uniform_graph_with_density(n, avg, 2000 + s);
       core::MwRunConfig cfg;
       cfg.seed = 7000 + s;
-      const auto r = core::run_mw_coloring(g, cfg);
+      core::MwInstance instance(g, cfg);
+      if (sidecar.observation() != nullptr) {
+        instance.attach_observation(sidecar.observation());
+      }
+      const auto r = instance.run();
       all_valid &= r.coloring_valid && r.metrics.all_decided;
       const double latency =
           static_cast<double>(r.metrics.max_decision_latency());
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
   }
   std::printf("normalized constant range: [%.1f, %.1f] (ratio %.2f)\n", lo, hi,
               hi / lo);
+  sidecar.write("x2_time_vs_n");
   const bool flat = hi / lo < 2.5;
   return bench::print_verdict(all_valid && flat,
                               flat ? "latency tracks Delta*ln n"

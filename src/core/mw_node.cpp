@@ -21,15 +21,42 @@ const char* to_string(MwStateKind kind) {
 MwNode::MwNode(graph::NodeId id, const MwParams& params)
     : id_(id), params_(params) {}
 
-void MwNode::on_wake(radio::Slot /*slot*/) {
+void MwNode::set_observation(obs::RunObservation* observation) {
+  tracer_ = observation != nullptr ? &observation->trace : nullptr;
+  obs_metrics_ = observation != nullptr ? &observation->metrics : nullptr;
+}
+
+void MwNode::on_wake(radio::Slot slot) {
   SINRCOLOR_CHECK(state_ == MwStateKind::kAsleep);
+  last_slot_ = slot;
+  state_entry_slot_ = slot;
   enter_class(0);
 }
 
 void MwNode::transition_to(MwStateKind next) {
   SINRCOLOR_CHECK_MSG(mw_transition_allowed(state_, next),
                       "illegal MwStateKind transition (kMwTransitionTable)");
+  const MwStateKind from = state_;
+  if (obs_metrics_ != nullptr && from != MwStateKind::kAsleep) {
+    static const std::vector<double> kSlotEdges{
+        1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0};
+    obs_metrics_
+        ->histogram(std::string("mw.time_in_state.") + to_string(from),
+                    kSlotEdges)
+        .record(static_cast<double>(last_slot_ - state_entry_slot_));
+  }
   state_ = next;
+  state_entry_slot_ = last_slot_;
+  SINRCOLOR_TRACE(tracer_, last_slot_, obs::EventKind::kMwTransition, id_,
+                  obs::kNoNode, static_cast<std::int32_t>(from),
+                  static_cast<std::int64_t>(next));
+  if (next == MwStateKind::kLeader) {
+    SINRCOLOR_TRACE(tracer_, last_slot_, obs::EventKind::kLeaderElected, id_);
+  }
+  if (next == MwStateKind::kLeader || next == MwStateKind::kColored) {
+    SINRCOLOR_TRACE(tracer_, last_slot_, obs::EventKind::kColorFinalized, id_,
+                    obs::kNoNode, 0, static_cast<std::int64_t>(final_color()));
+  }
 }
 
 void MwNode::enter_class(std::int32_t j) {
@@ -68,6 +95,7 @@ std::int64_t MwNode::chi(radio::Slot now) const {
 
 std::optional<radio::Message> MwNode::begin_slot(radio::Slot slot,
                                                  common::Rng& rng) {
+  last_slot_ = slot;
   switch (state_) {
     case MwStateKind::kAsleep:
       SINRCOLOR_CHECK_MSG(false, "begin_slot on a sleeping node");
@@ -175,6 +203,7 @@ std::optional<radio::Message> MwNode::leader_slot(common::Rng& rng) {
 }
 
 void MwNode::on_receive(radio::Slot slot, const radio::Message& msg) {
+  last_slot_ = slot;
   switch (state_) {
     case MwStateKind::kAsleep:
       SINRCOLOR_CHECK_MSG(false, "delivery to a sleeping node");

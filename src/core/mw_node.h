@@ -20,6 +20,7 @@
 
 #include "core/mw_params.h"
 #include "graph/coloring.h"
+#include "obs/observation.h"
 #include "radio/protocol.h"
 
 namespace sinrcolor::core {
@@ -114,6 +115,13 @@ class MwNode final : public radio::Protocol {
   /// and keep depressing χ(P_v). Returns the number pruned.
   std::size_t prune_competitors_older_than(radio::Slot now, radio::Slot max_age);
 
+  // --- observability (src/obs) ---
+  /// Attaches trace + metrics sinks: transition_to then emits mw_transition /
+  /// leader_elected / color_finalized events and feeds the per-state
+  /// time-in-state histograms. Null detaches; unobserved nodes pay one
+  /// pointer test per transition and nothing per slot.
+  void set_observation(obs::RunObservation* observation);
+
  private:
   // d_v(w) advances by exactly one per slot (Fig. 1 lines 3/9), so instead of
   // touching every mirror every slot we store the received counter and its
@@ -140,6 +148,14 @@ class MwNode final : public radio::Protocol {
 
   const graph::NodeId id_;
   const MwParams& params_;
+
+  // Observability sinks (null when unobserved) and the slot bookkeeping that
+  // lets transition_to stamp events without a slot parameter: every protocol
+  // entry point records its slot in last_slot_ before any transition fires.
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* obs_metrics_ = nullptr;
+  radio::Slot last_slot_ = 0;
+  radio::Slot state_entry_slot_ = 0;
 
   MwStateKind state_{MwStateKind::kAsleep};
   std::int32_t color_class_ = 0;       ///< i of the current A_i / C_i

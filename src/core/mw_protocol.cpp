@@ -111,7 +111,7 @@ MwInstance::MwInstance(const graph::UnitDiskGraph& g, const MwRunConfig& config)
     // against their decided neighbors each slot is complete.
     simulator_->add_observer(
         [this, known = std::vector<bool>(graph_.size(), false)](
-            radio::Slot, std::span<const radio::TxRecord>) mutable {
+            radio::Slot slot, std::span<const radio::TxRecord>) mutable {
           for (graph::NodeId v = 0; v < graph_.size(); ++v) {
             if (known[v] || !nodes_[v]->decided()) continue;
             known[v] = true;
@@ -119,11 +119,22 @@ MwInstance::MwInstance(const graph::UnitDiskGraph& g, const MwRunConfig& config)
             for (graph::NodeId u : graph_.neighbors(v)) {
               if (known[u] && nodes_[u]->final_color() == mine) {
                 ++independence_violations_;
+                if (observation_ != nullptr) {
+                  observation_->trace.record(
+                      slot, obs::EventKind::kIndependenceViolation, v, u, 0,
+                      static_cast<std::int64_t>(mine));
+                }
               }
             }
           }
         });
   }
+}
+
+void MwInstance::attach_observation(obs::RunObservation* observation) {
+  observation_ = observation;
+  simulator_->set_observation(observation);
+  for (MwNode* node : nodes_) node->set_observation(observation);
 }
 
 MwRunResult MwInstance::run() {
@@ -139,6 +150,18 @@ MwRunResult MwInstance::run() {
   result.coloring_valid = graph::is_valid_coloring(graph_, result.coloring);
   result.palette = result.coloring.palette_size();
   result.max_color = result.coloring.max_color();
+  if (observation_ != nullptr) {
+    auto& m = observation_->metrics;
+    m.counter("mw.independence_violations").add(independence_violations_);
+    auto& latency = m.histogram(
+        "mw.decision_latency",
+        {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0});
+    for (std::size_t v = 0; v < graph_.size(); ++v) {
+      if (result.metrics.decision_slot[v] < 0) continue;
+      latency.record(static_cast<double>(result.metrics.decision_slot[v] -
+                                         result.metrics.wake_slot[v]));
+    }
+  }
   return result;
 }
 

@@ -101,6 +101,13 @@ class MwInstance {
   const std::vector<MwNode*>& nodes() const { return nodes_; }
   const graph::UnitDiskGraph& graph() const { return graph_; }
 
+  /// Attaches trace + metrics sinks to the whole instance: the simulator
+  /// (radio events, SINR margin), every MwNode (state transitions, color
+  /// decisions, time-in-state) and the independence checker (violation
+  /// events). Call before run(); null detaches. Observation never touches
+  /// the RNG streams, so results are byte-identical to an unobserved run.
+  void attach_observation(obs::RunObservation* observation);
+
   /// Executes the protocol and extracts the result. Call once.
   MwRunResult run();
 
@@ -111,6 +118,7 @@ class MwInstance {
   std::unique_ptr<radio::Simulator> simulator_;
   std::vector<MwNode*> nodes_;  // owned by the simulator
   std::size_t independence_violations_ = 0;
+  obs::RunObservation* observation_ = nullptr;
 };
 
 /// Convenience wrapper: build an MwInstance and run it.

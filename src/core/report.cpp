@@ -33,7 +33,10 @@ std::string to_json(const MwParams& params) {
   return json.str();
 }
 
-std::string to_json(const MwRunResult& result, bool include_per_node) {
+namespace {
+
+std::string result_to_json(const MwRunResult& result, bool include_per_node,
+                           const obs::RunObservation* observation) {
   common::JsonWriter json;
   json.begin_object();
 
@@ -106,8 +109,34 @@ std::string to_json(const MwRunResult& result, bool include_per_node) {
     json.end_array();
   }
 
+  if (observation != nullptr) {
+    json.key("observability");
+    json.begin_object();
+    json.key("trace");
+    json.begin_object();
+    json.field("recorded", observation->trace.recorded());
+    json.field("dropped", observation->trace.dropped());
+    json.field("held", static_cast<std::uint64_t>(observation->trace.size()));
+    json.end_object();
+    json.key("metrics");
+    observation->metrics.write_json(json);
+    json.end_object();
+  }
+
   json.end_object();
   return json.str();
+}
+
+}  // namespace
+
+std::string to_json(const MwRunResult& result, bool include_per_node) {
+  return result_to_json(result, include_per_node, nullptr);
+}
+
+std::string to_json(const MwRunResult& result,
+                    const obs::RunObservation& observation,
+                    bool include_per_node) {
+  return result_to_json(result, include_per_node, &observation);
 }
 
 }  // namespace sinrcolor::core

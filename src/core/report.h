@@ -5,12 +5,20 @@
 #include <string>
 
 #include "core/mw_protocol.h"
+#include "obs/observation.h"
 
 namespace sinrcolor::core {
 
 /// Full run report: parameters, metrics, per-node colors and leaders.
 /// Set `include_per_node` to false for compact summaries of large runs.
 std::string to_json(const MwRunResult& result, bool include_per_node = true);
+
+/// As above plus an "observability" object: the run's metrics registry
+/// (counters + histograms) and the trace's recorded/dropped tallies, so one
+/// report file carries the protocol outcome and its run-summary metrics.
+std::string to_json(const MwRunResult& result,
+                    const obs::RunObservation& observation,
+                    bool include_per_node = true);
 
 /// Parameter set alone (both profiles serialize identically).
 std::string to_json(const MwParams& params);

@@ -85,4 +85,74 @@ std::string StateTimeline::render_ascii(std::size_t max_columns) const {
   return out;
 }
 
+StateTimeline timeline_from_trace(std::span<const obs::TraceEvent> events,
+                                  std::size_t node_count,
+                                  radio::Slot interval) {
+  SINRCOLOR_CHECK(interval >= 1);
+  StateTimeline timeline(interval);
+  timeline.set_node_count(node_count);
+  if (events.empty() || node_count == 0) return timeline;
+
+  // Replay: per-node MwStateKind value, updated event by event; a sample row
+  // is flushed whenever the replay crosses a slot boundary that is a
+  // multiple of `interval`.
+  std::vector<std::uint8_t> state(node_count, 0);  // kAsleep
+  std::array<std::uint32_t, StateTimeline::kStates> count{};
+  count[0] = static_cast<std::uint32_t>(node_count);
+  const radio::Slot last_slot = events.back().slot;
+  radio::Slot next_sample = 0;
+  const auto move = [&](graph::NodeId v, std::uint8_t to) {
+    --count[state[v]];
+    state[v] = to;
+    ++count[to];
+  };
+  const auto flush_until = [&](radio::Slot limit) {
+    while (next_sample <= limit) {
+      StateTimeline::Sample sample;
+      sample.slot = next_sample;
+      sample.count = count;
+      timeline.add_sample(sample);
+      next_sample += interval;
+    }
+  };
+
+  for (const obs::TraceEvent& e : events) {
+    SINRCOLOR_CHECK_MSG(e.node < node_count,
+                        "trace event for a node beyond node_count");
+    flush_until(e.slot - 1);
+    switch (e.kind) {
+      case obs::EventKind::kMwTransition:
+        move(e.node, static_cast<std::uint8_t>(e.b));
+        break;
+      case obs::EventKind::kFailure:
+        move(e.node, 0);  // dead nodes render as asleep
+        break;
+      case obs::EventKind::kColorFinalized:
+        // Fast-join confirmations carry no MW transition; count them as
+        // colored. MW decisions already moved via kMwTransition (move is
+        // then a no-op only if the finalize repeats, e.g. a join repair).
+        if (state[e.node] !=
+                static_cast<std::uint8_t>(MwStateKind::kLeader) &&
+            state[e.node] !=
+                static_cast<std::uint8_t>(MwStateKind::kColored)) {
+          move(e.node, static_cast<std::uint8_t>(MwStateKind::kColored));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  flush_until(last_slot);
+  if (timeline.samples().empty() ||
+      timeline.samples().back().slot < last_slot) {
+    // Close with the end-of-run population even when `last_slot` is not a
+    // sample boundary, so decided_fraction_slot(1.0) can see the final state.
+    StateTimeline::Sample sample;
+    sample.slot = last_slot;
+    sample.count = count;
+    timeline.add_sample(sample);
+  }
+  return timeline;
+}
+
 }  // namespace sinrcolor::core

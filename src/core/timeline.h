@@ -8,10 +8,12 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/mw_protocol.h"
+#include "obs/trace.h"
 
 namespace sinrcolor::core {
 
@@ -30,8 +32,14 @@ class StateTimeline {
   /// Attach to an instance BEFORE run(); samples every `interval` slots.
   void attach(MwInstance& instance);
 
+  /// Offline construction (timeline_from_trace, tests): declare the node
+  /// population and append pre-computed sample rows directly.
+  void set_node_count(std::size_t node_count) { node_count_ = node_count; }
+  void add_sample(const Sample& sample) { samples_.push_back(sample); }
+
   const std::vector<Sample>& samples() const { return samples_; }
   radio::Slot interval() const { return interval_; }
+  std::size_t node_count() const { return node_count_; }
 
   /// First sampled slot where `fraction` of the nodes had decided
   /// (leader or colored), or -1 if never reached.
@@ -46,5 +54,15 @@ class StateTimeline {
   std::size_t node_count_ = 0;
   std::vector<Sample> samples_;
 };
+
+/// Rebuilds a StateTimeline from a recorded event trace (obs/trace.h) by
+/// replaying mw_transition / failure / color_finalized events: a sample
+/// every `interval` slots counts each node's state after all events at
+/// slots <= the sampled slot. Dead nodes count as kAsleep; fast-join
+/// confirmations (color_finalized without an MW transition) as kColored.
+/// Events must be in emission order (as Tracer::events / read_jsonl yield).
+StateTimeline timeline_from_trace(std::span<const obs::TraceEvent> events,
+                                  std::size_t node_count,
+                                  radio::Slot interval);
 
 }  // namespace sinrcolor::core

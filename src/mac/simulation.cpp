@@ -9,11 +9,33 @@
 
 namespace sinrcolor::mac {
 
+namespace {
+
+obs::Histogram* mac_concurrent_tx_hist(obs::RunObservation* observation) {
+  if (observation == nullptr) return nullptr;
+  return &observation->metrics.histogram(
+      "mac.concurrent_tx_per_slot",
+      {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+}
+
+void record_mac_totals(obs::RunObservation* observation,
+                       const ExecutionResult& result) {
+  if (observation == nullptr) return;
+  auto& m = observation->metrics;
+  m.counter("mac.rounds").add(result.rounds);
+  m.counter("mac.slots").add(static_cast<std::uint64_t>(result.slots_used));
+  m.counter("mac.messages_sent").add(result.messages_sent);
+  m.counter("mac.deliveries").add(result.deliveries);
+  m.counter("mac.missed_deliveries").add(result.missed_deliveries);
+}
+
+}  // namespace
+
 ExecutionResult run_over_sinr_tdma(
     const graph::UnitDiskGraph& g, const sinr::SinrParams& phys,
     const TdmaSchedule& schedule,
     std::vector<std::unique_ptr<UniformAlgorithm>>& nodes,
-    std::uint32_t max_rounds) {
+    std::uint32_t max_rounds, obs::RunObservation* observation) {
   SINRCOLOR_CHECK(nodes.size() == g.size());
   SINRCOLOR_CHECK(schedule.size() == g.size());
   phys.validate();
@@ -47,7 +69,11 @@ ExecutionResult run_over_sinr_tdma(
     }
 
     // One TDMA frame: frame slot t carries the messages of color class t.
+    obs::Tracer* const tracer =
+        observation != nullptr ? &observation->trace : nullptr;
+    obs::Histogram* const tx_hist = mac_concurrent_tx_hist(observation);
     for (std::uint32_t t = 0; t < schedule.frame_length(); ++t) {
+      const auto slot = static_cast<obs::Slot>(result.slots_used);
       result.slots_used += 1;
       std::vector<sinr::Transmitter> txs;
       std::vector<graph::NodeId> senders;
@@ -55,7 +81,11 @@ ExecutionResult run_over_sinr_tdma(
         if (outbox[v].has_value()) {
           senders.push_back(v);
           txs.push_back({g.position(v)});
+          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kTx, v);
         }
+      }
+      if (tx_hist != nullptr) {
+        tx_hist->record(static_cast<double>(senders.size()));
       }
       if (senders.empty()) continue;
       for (std::size_t i = 0; i < senders.size(); ++i) {
@@ -66,8 +96,10 @@ ExecutionResult run_over_sinr_tdma(
           if (u_silent && sinr::decodes(phys, g.position(u), txs, i)) {
             inbox[u].messages.emplace_back(v, *outbox[v]);
             ++result.deliveries;
+            SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kDelivery, u, v);
           } else {
             ++result.missed_deliveries;
+            SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kDrop, u, v, 1);
           }
         }
       }
@@ -87,6 +119,7 @@ ExecutionResult run_over_sinr_tdma(
         std::all_of(nodes.begin(), nodes.end(),
                     [](const auto& node) { return node->terminated(); });
   }
+  record_mac_totals(observation, result);
   return result;
 }
 
@@ -94,7 +127,8 @@ ExecutionResult run_general_over_sinr_tdma(
     const graph::UnitDiskGraph& g, const sinr::SinrParams& phys,
     const TdmaSchedule& schedule,
     std::vector<std::unique_ptr<GeneralAlgorithm>>& nodes,
-    std::uint32_t max_rounds, GeneralStrategy strategy) {
+    std::uint32_t max_rounds, GeneralStrategy strategy,
+    obs::RunObservation* observation) {
   SINRCOLOR_CHECK(nodes.size() == g.size());
   SINRCOLOR_CHECK(schedule.size() == g.size());
   phys.validate();
@@ -112,8 +146,12 @@ ExecutionResult run_general_over_sinr_tdma(
 
   // Runs one TDMA frame in which `sending(v)` says whether v transmits and
   // `deliver(sender, neighbor)` handles a successful physical delivery.
+  obs::Tracer* const tracer =
+      observation != nullptr ? &observation->trace : nullptr;
+  obs::Histogram* const tx_hist = mac_concurrent_tx_hist(observation);
   auto run_frame = [&](auto&& sending, auto&& deliver) {
     for (std::uint32_t t = 0; t < schedule.frame_length(); ++t) {
+      const auto slot = static_cast<obs::Slot>(result.slots_used);
       result.slots_used += 1;
       std::vector<sinr::Transmitter> txs;
       std::vector<graph::NodeId> senders;
@@ -121,7 +159,11 @@ ExecutionResult run_general_over_sinr_tdma(
         if (sending(v)) {
           senders.push_back(v);
           txs.push_back({g.position(v)});
+          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kTx, v);
         }
+      }
+      if (tx_hist != nullptr) {
+        tx_hist->record(static_cast<double>(senders.size()));
       }
       if (senders.empty()) continue;
       for (std::size_t i = 0; i < senders.size(); ++i) {
@@ -129,9 +171,11 @@ ExecutionResult run_general_over_sinr_tdma(
         for (graph::NodeId u : g.neighbors(v)) {
           const bool u_silent = schedule.slot_of(u) != t || !sending(u);
           if (u_silent && sinr::decodes(phys, g.position(u), txs, i)) {
+            SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kDelivery, u, v);
             deliver(v, u);
           } else {
             ++result.missed_deliveries;
+            SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kDrop, u, v, 1);
           }
         }
       }
@@ -203,6 +247,7 @@ ExecutionResult run_general_over_sinr_tdma(
         std::all_of(nodes.begin(), nodes.end(),
                     [](const auto& node) { return node->terminated(); });
   }
+  record_mac_totals(observation, result);
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include "mac/message_passing.h"
 #include "mac/tdma.h"
+#include "obs/observation.h"
 #include "sinr/params.h"
 
 namespace sinrcolor::mac {
@@ -20,11 +21,15 @@ namespace sinrcolor::mac {
 /// aborting: failed (sender, neighbor) deliveries are counted in
 /// `missed_deliveries` and the affected inbox entries are simply absent.
 /// Runs until all instances terminate or `max_rounds`.
+///
+/// `observation` (optional) receives tx/delivery/drop events stamped with
+/// the global TDMA slot index plus the mac.* counters and the per-slot
+/// concurrent-transmitter histogram.
 ExecutionResult run_over_sinr_tdma(
     const graph::UnitDiskGraph& g, const sinr::SinrParams& phys,
     const TdmaSchedule& schedule,
     std::vector<std::unique_ptr<UniformAlgorithm>>& nodes,
-    std::uint32_t max_rounds);
+    std::uint32_t max_rounds, obs::RunObservation* observation = nullptr);
 
 /// How a general-model round is mapped onto TDMA frames (Corollary 1).
 enum class GeneralStrategy : std::uint8_t {
@@ -41,10 +46,12 @@ enum class GeneralStrategy : std::uint8_t {
 };
 
 /// Executes a general-model algorithm under SINR via the chosen strategy.
+/// `observation` as in run_over_sinr_tdma.
 ExecutionResult run_general_over_sinr_tdma(
     const graph::UnitDiskGraph& g, const sinr::SinrParams& phys,
     const TdmaSchedule& schedule,
     std::vector<std::unique_ptr<GeneralAlgorithm>>& nodes,
-    std::uint32_t max_rounds, GeneralStrategy strategy);
+    std::uint32_t max_rounds, GeneralStrategy strategy,
+    obs::RunObservation* observation = nullptr);
 
 }  // namespace sinrcolor::mac

@@ -1,0 +1,89 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace sinrcolor::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  SINRCOLOR_CHECK_MSG(!edges_.empty(), "Histogram needs at least one edge");
+  SINRCOLOR_CHECK_MSG(std::is_sorted(edges_.begin(), edges_.end()) &&
+                          std::adjacent_find(edges_.begin(), edges_.end()) ==
+                              edges_.end(),
+                      "Histogram edges must be strictly increasing");
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::record(double x) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - edges_.begin())];
+  if (total_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++total_;
+  sum_ += x;
+}
+
+double Histogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> edges) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    SINRCOLOR_CHECK_MSG(it->second.edges() == edges,
+                        "histogram re-registered with different edges");
+    return it->second;
+  }
+  return histograms_.emplace(name, Histogram(std::move(edges))).first->second;
+}
+
+void MetricsRegistry::write_json(common::JsonWriter& json) const {
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, c] : counters_) {
+    json.field(name, c.value());
+  }
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    json.key(name);
+    json.begin_object();
+    json.key("edges");
+    json.begin_array();
+    for (double e : h.edges()) json.value(e);
+    json.end_array();
+    json.key("counts");
+    json.begin_array();
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) json.value(h.bucket(i));
+    json.end_array();
+    json.field("total", h.total());
+    json.field("sum", h.sum());
+    json.field("min", h.min());
+    json.field("max", h.max());
+    json.field("mean", h.mean());
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  common::JsonWriter json;
+  write_json(json);
+  return json.str();
+}
+
+}  // namespace sinrcolor::obs

@@ -1,0 +1,81 @@
+// Named-metrics registry: counters and fixed-bucket histograms that the
+// simulator, the protocol drivers and the MAC layer register into during an
+// observed run. The registry is ordered (std::map) so that exported JSON is
+// byte-stable across same-seed runs — sinrlint R1 territory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sinrcolor::common {
+class JsonWriter;
+}
+
+namespace sinrcolor::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram over doubles. `edges` are strictly increasing
+/// upper bounds: bucket i counts samples x with edges[i-1] < x <= edges[i];
+/// bucket edges.size() is the overflow bucket (x > edges.back()).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void record(double x);
+
+  /// edges().size() + 1 (the last bucket is the overflow bucket).
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  const std::vector<double>& edges() const { return edges_; }
+
+  std::uint64_t total() const { return total_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  ///< 0 when empty
+  double max() const { return max_; }  ///< 0 when empty
+  double mean() const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named counter.
+  Counter& counter(const std::string& name);
+
+  /// Finds or creates the named histogram. Re-registering an existing name
+  /// with different edges aborts (two subsystems disagreeing on a metric's
+  /// shape is a wiring bug, not a runtime condition).
+  Histogram& histogram(const std::string& name, std::vector<double> edges);
+
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// {"counters":{name:value,...},"histograms":{name:{edges,counts,...}}}
+  void write_json(common::JsonWriter& json) const;
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sinrcolor::obs

@@ -1,0 +1,20 @@
+// RunObservation bundles the two sinks a harness attaches to an observed
+// run: the event trace and the metrics registry. Drivers take a nullable
+// RunObservation* — null means "run dark" and costs one pointer test per
+// would-be emission.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sinrcolor::obs {
+
+struct RunObservation {
+  explicit RunObservation(std::size_t trace_capacity = std::size_t{1} << 20)
+      : trace(trace_capacity) {}
+
+  Tracer trace;
+  MetricsRegistry metrics;
+};
+
+}  // namespace sinrcolor::obs

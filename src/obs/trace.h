@@ -1,0 +1,116 @@
+// Structured, slot-stamped event tracing for protocol runs.
+//
+// A TraceEvent is a small POD describing one thing that happened at one slot
+// to one node: a transmission, a decoded delivery, a collision/SINR drop, a
+// state-machine edge, a failure/join, a color decision. Events are recorded
+// into a fixed-capacity ring buffer (Tracer) owned by the harness; emitters
+// hold a nullable Tracer* and pay only a pointer test when no sink is
+// attached, so tracing never perturbs an unobserved run (and never touches
+// the RNG stream — see tests/determinism_test.cpp).
+//
+// This layer deliberately depends on nothing above src/common: radio, core,
+// robust and mac all emit into it, so it sits below them in the dependency
+// order (common -> obs -> ... -> radio -> core).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sinrcolor::obs {
+
+/// Mirrors radio::Slot / graph::NodeId without including those headers
+/// (checked by static_asserts at the emission sites).
+using Slot = std::int64_t;
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+enum class EventKind : std::uint8_t {
+  kWake,            ///< radio on per the wake-up schedule
+  kJoin,            ///< dynamic join: late arrival into the network
+  kRevival,         ///< rejoin after a crash (die-then-rejoin churn)
+  kFailure,         ///< crash-stop death
+  kTx,              ///< transmission: peer=target, a=MessageKind, b=payload
+  kDelivery,        ///< decoded reception: peer=sender, a=MessageKind, b=payload
+  kDrop,            ///< in range of >=1 transmitter but decoded nothing:
+                    ///< peer=one interferer, a=transmitting-neighbor count
+  kMwTransition,    ///< MW automaton edge: a=from, b=to (MwStateKind values)
+  kJoinTransition,  ///< fast-join automaton edge: a=from, b=to (JoinPhase)
+  kLeaderElected,   ///< node entered C_0
+  kColorFinalized,  ///< node decided: b=final color
+  kFailover,        ///< self-healing leader failover: a=failover ordinal
+  kIndependenceViolation,  ///< peer=conflicting neighbor, b=shared color
+};
+
+inline constexpr std::size_t kEventKindCount = 13;
+
+/// Stable wire name of the kind ("tx", "mw_transition", ...), used by the
+/// JSONL exporter and the schema checker in tools/lint/.
+const char* to_string(EventKind kind);
+
+/// Inverse of to_string; returns false on an unknown name.
+bool event_kind_from_string(const std::string& name, EventKind& out);
+
+/// State names for the two traced automata. These must stay in lockstep with
+/// core::to_string(MwStateKind) and robust::SelfHealingNode's JoinPhase
+/// (asserted by tests/obs_test.cpp); obs cannot include those headers
+/// without inverting the layering.
+const char* mw_state_name(std::int64_t state);
+const char* join_phase_name(std::int64_t phase);
+
+struct TraceEvent {
+  Slot slot = 0;
+  NodeId node = kNoNode;  ///< subject of the event
+  NodeId peer = kNoNode;  ///< counterpart (sender, target, neighbor) or none
+  std::int32_t a = 0;     ///< kind-specific small payload (see EventKind)
+  std::int64_t b = 0;     ///< kind-specific wide payload (see EventKind)
+  EventKind kind = EventKind::kWake;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Fixed-capacity ring buffer of trace events. Overflow policy: drop-OLDEST
+/// (the freshest events are the ones that explain a stall at the end of a
+/// run); the number of overwritten events is reported via dropped().
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = std::size_t{1} << 20);
+
+  void record(const TraceEvent& event);
+  void record(Slot slot, EventKind kind, NodeId node, NodeId peer = kNoNode,
+              std::int32_t a = 0, std::int64_t b = 0) {
+    record(TraceEvent{slot, node, peer, a, b, kind});
+  }
+
+  /// Events currently held, in emission order (oldest surviving first).
+  std::vector<TraceEvent> events() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Total events ever recorded (survivors + dropped).
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events overwritten by the drop-oldest overflow policy.
+  std::uint64_t dropped() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next write position once the ring is full
+  std::uint64_t recorded_ = 0;
+};
+
+/// Emission macro: a single pointer test when no sink is attached. The
+/// arguments after the tracer are forwarded to Tracer::record and are NOT
+/// evaluated when the tracer is null, so emission sites may compute payloads
+/// inline without cost in the unobserved case.
+#define SINRCOLOR_TRACE(tracer_ptr, ...)   \
+  do {                                     \
+    if ((tracer_ptr) != nullptr) {         \
+      (tracer_ptr)->record(__VA_ARGS__);   \
+    }                                      \
+  } while (0)
+
+}  // namespace sinrcolor::obs

@@ -36,10 +36,14 @@ void SinrInterferenceModel::resolve(
     const auto sender = transmissions[i].sender;
     for (graph::NodeId u : graph_.neighbors(sender)) {
       if (!listening[u]) continue;
-      if (sinr::sinr_at(params_, graph_.position(u), txs, i) >= params_.beta) {
+      const double ratio = sinr::sinr_at(params_, graph_.position(u), txs, i);
+      if (ratio >= params_.beta) {
         SINRCOLOR_CHECK_MSG(!deliveries[u].has_value(),
                             "beta >= 1 forbids two decodable senders");
         deliveries[u] = transmissions[i].message;
+        if (margin_histogram_ != nullptr) {
+          margin_histogram_->record(ratio / params_.beta);
+        }
       }
     }
   }
@@ -113,10 +117,14 @@ void FadingSinrInterferenceModel::resolve(
         }
       }
       (void)r_t;  // the δ ≤ R_T gate is implied by iterating UDG neighbors
-      if (signal >= params_.beta * (params_.noise + interference)) {
+      const double threshold = params_.beta * (params_.noise + interference);
+      if (signal >= threshold) {
         SINRCOLOR_CHECK_MSG(!deliveries[u].has_value(),
                             "beta >= 1 forbids two decodable senders");
         deliveries[u] = transmissions[i].message;
+        if (margin_histogram_ != nullptr) {
+          margin_histogram_->record(signal / threshold);
+        }
       }
     }
   }

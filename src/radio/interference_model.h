@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/unit_disk_graph.h"
+#include "obs/metrics.h"
 #include "radio/message.h"
 #include "sinr/fading.h"
 #include "sinr/params.h"
@@ -32,6 +33,16 @@ class InterferenceModel {
                        std::vector<std::optional<Message>>& deliveries) const = 0;
 
   virtual const char* name() const = 0;
+
+  /// Attaches a histogram that receives the SINR margin (achieved SINR
+  /// divided by β) of every successful decode. Models without a physical
+  /// layer (GraphInterferenceModel) record nothing. Null detaches.
+  void set_margin_histogram(obs::Histogram* histogram) {
+    margin_histogram_ = histogram;
+  }
+
+ protected:
+  obs::Histogram* margin_histogram_ = nullptr;
 };
 
 class SinrInterferenceModel final : public InterferenceModel {

@@ -1,10 +1,16 @@
 #include "radio/simulator.h"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "common/check.h"
 
 namespace sinrcolor::radio {
+
+// obs mirrors these types without including radio/graph headers; a drift
+// here would silently truncate slots or node ids in traces.
+static_assert(std::is_same_v<obs::Slot, Slot>);
+static_assert(std::is_same_v<obs::NodeId, graph::NodeId>);
 
 Simulator::Simulator(const graph::UnitDiskGraph& graph,
                      std::unique_ptr<InterferenceModel> model,
@@ -41,6 +47,17 @@ void Simulator::set_join_slot(graph::NodeId v, Slot slot) {
   join_slot_[v] = slot;
 }
 
+void Simulator::set_observation(obs::RunObservation* observation) {
+  SINRCOLOR_CHECK_MSG(!ran_, "attach observation before run()");
+  observation_ = observation;
+  model_->set_margin_histogram(
+      observation == nullptr
+          ? nullptr
+          : &observation->metrics.histogram(
+                "radio.sinr_margin",
+                {1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 100.0}));
+}
+
 RunMetrics Simulator::run(Slot max_slots) {
   SINRCOLOR_CHECK_MSG(!ran_, "Simulator::run may only be called once");
   ran_ = true;
@@ -61,6 +78,27 @@ RunMetrics Simulator::run(Slot max_slots) {
   std::vector<bool> listening(n, false);
   std::vector<TxRecord> transmissions;
   std::vector<std::optional<Message>> deliveries(n);
+
+  obs::Tracer* const tracer =
+      observation_ != nullptr ? &observation_->trace : nullptr;
+  obs::Histogram* concurrent_tx_hist = nullptr;
+  obs::Counter* drop_counter = nullptr;
+  if (observation_ != nullptr) {
+    concurrent_tx_hist = &observation_->metrics.histogram(
+        "radio.concurrent_tx_per_slot",
+        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+    drop_counter = &observation_->metrics.counter("radio.drops");
+  }
+  // Scratch for collision attribution (kDrop): per listener, how many
+  // transmitters cover it this slot and one sample interferer. Only
+  // maintained when a tracer is attached (unobserved runs never touch it).
+  std::vector<std::uint32_t> cover_count;
+  std::vector<graph::NodeId> cover_sample;
+  std::vector<graph::NodeId> covered;
+  if (tracer != nullptr) {
+    cover_count.assign(n, 0);
+    cover_sample.assign(n, graph::kInvalidNode);
+  }
   std::size_t undecided = n;
   std::size_t joins_pending = 0;
   // A join slot replaces the schedule entry unless the node must first live
@@ -86,10 +124,16 @@ RunMetrics Simulator::run(Slot max_slots) {
         ++metrics.failed_nodes;
         // A dead node can no longer decide; stop waiting for it.
         if (metrics.decision_slot[v] < 0) --undecided;
+        SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kFailure,
+                        static_cast<graph::NodeId>(v));
       }
       if (join_slot_[v] == slot) {
         --joins_pending;
         ++metrics.joined_nodes;
+        SINRCOLOR_TRACE(tracer, slot,
+                        dead[v] ? obs::EventKind::kRevival
+                                : obs::EventKind::kJoin,
+                        static_cast<graph::NodeId>(v));
         if (dead[v]) {
           // Revival: the node rejoins fresh. It leaves the failed count and
           // any earlier decision is void, so it is counted exactly once in
@@ -116,6 +160,8 @@ RunMetrics Simulator::run(Slot max_slots) {
       if (!awake[v]) {
         if (wakeups_[v] == slot && !schedule_suppressed[v]) {
           awake[v] = true;
+          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kWake,
+                          static_cast<graph::NodeId>(v));
           protocols_[v]->on_wake(slot);
         } else {
           listening[v] = false;
@@ -129,6 +175,9 @@ RunMetrics Simulator::run(Slot max_slots) {
         transmissions.push_back({static_cast<graph::NodeId>(v), *tx});
         listening[v] = false;
         ++metrics.tx_count[v];
+        SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kTx,
+                        static_cast<graph::NodeId>(v), tx->target,
+                        static_cast<std::int32_t>(tx->kind), tx->color_class);
       } else {
         listening[v] = true;
       }
@@ -136,6 +185,9 @@ RunMetrics Simulator::run(Slot max_slots) {
     metrics.total_transmissions += transmissions.size();
     metrics.max_concurrent_tx =
         std::max(metrics.max_concurrent_tx, transmissions.size());
+    if (concurrent_tx_hist != nullptr) {
+      concurrent_tx_hist->record(static_cast<double>(transmissions.size()));
+    }
 
     for (const auto& observer : observers_) {
       observer(slot, std::span<const TxRecord>(transmissions));
@@ -148,9 +200,35 @@ RunMetrics Simulator::run(Slot max_slots) {
       for (std::size_t v = 0; v < n; ++v) {
         if (deliveries[v].has_value()) {
           SINRCOLOR_DCHECK(listening[v]);
+          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kDelivery,
+                          static_cast<graph::NodeId>(v), deliveries[v]->sender,
+                          static_cast<std::int32_t>(deliveries[v]->kind),
+                          deliveries[v]->color_class);
           protocols_[v]->on_receive(slot, *deliveries[v]);
           ++metrics.total_deliveries;
         }
+      }
+      // Collision attribution: a listener covered by >= 1 transmitter that
+      // decoded nothing lost every covering message to interference/SINR.
+      if (tracer != nullptr) {
+        covered.clear();
+        for (const TxRecord& t : transmissions) {
+          for (graph::NodeId u : graph_.neighbors(t.sender)) {
+            if (!listening[u] || deliveries[u].has_value()) continue;
+            if (cover_count[u] == 0) {
+              covered.push_back(u);
+              cover_sample[u] = t.sender;
+            }
+            ++cover_count[u];
+          }
+        }
+        for (graph::NodeId u : covered) {
+          tracer->record(slot, obs::EventKind::kDrop, u, cover_sample[u],
+                         static_cast<std::int32_t>(cover_count[u]));
+          cover_count[u] = 0;
+          cover_sample[u] = graph::kInvalidNode;
+        }
+        if (drop_counter != nullptr) drop_counter->add(covered.size());
       }
     }
 
@@ -169,6 +247,19 @@ RunMetrics Simulator::run(Slot max_slots) {
     if (!dead[v] && metrics.decision_slot[v] < 0) ++metrics.stalled_nodes;
   }
   metrics.all_decided = metrics.stalled_nodes == 0;
+  if (observation_ != nullptr) {
+    auto& m = observation_->metrics;
+    m.counter("radio.slots").add(
+        static_cast<std::uint64_t>(metrics.slots_executed));
+    m.counter("radio.transmissions")
+        .add(static_cast<std::uint64_t>(metrics.total_transmissions));
+    m.counter("radio.deliveries")
+        .add(static_cast<std::uint64_t>(metrics.total_deliveries));
+    m.counter("radio.failures")
+        .add(static_cast<std::uint64_t>(metrics.failed_nodes));
+    m.counter("radio.joins")
+        .add(static_cast<std::uint64_t>(metrics.joined_nodes));
+  }
   return metrics;
 }
 

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "graph/unit_disk_graph.h"
+#include "obs/observation.h"
 #include "radio/interference_model.h"
 #include "radio/protocol.h"
 #include "radio/trace.h"
@@ -70,6 +71,16 @@ class Simulator {
     observers_.push_back(std::move(observer));
   }
 
+  /// Attaches trace + metrics sinks (obs/observation.h). The simulator then
+  /// emits wake/join/revival/failure, tx/delivery/drop events and registers
+  /// the radio.* counters and per-slot histograms; the interference model
+  /// records its SINR margin per decode. Null detaches. Observation never
+  /// touches the per-node RNG streams, so a traced run is byte-identical to
+  /// an untraced one (tests/determinism_test.cpp). Call before run().
+  void set_observation(obs::RunObservation* observation);
+
+  obs::RunObservation* observation() const { return observation_; }
+
   /// Runs until every protocol reports decided() or `max_slots` elapse.
   /// May be called once per simulator instance.
   RunMetrics run(Slot max_slots);
@@ -88,6 +99,7 @@ class Simulator {
   std::vector<std::unique_ptr<Protocol>> protocols_;
   std::vector<common::Rng> rngs_;
   std::vector<SlotObserver> observers_;
+  obs::RunObservation* observation_ = nullptr;
   bool ran_ = false;
 };
 

@@ -47,6 +47,12 @@ RecoveryInstance::RecoveryInstance(const graph::UnitDiskGraph& g,
   }
 }
 
+void RecoveryInstance::attach_observation(obs::RunObservation* observation) {
+  observation_ = observation;
+  simulator_->set_observation(observation);
+  for (SelfHealingNode* node : nodes_) node->set_observation(observation);
+}
+
 core::MwRunResult RecoveryInstance::run() {
   const core::RecoveryOptions& rec = config_.recovery;
   radio::Slot horizon = config_.max_slots > 0 ? config_.max_slots
@@ -122,6 +128,13 @@ core::MwRunResult RecoveryInstance::run() {
   if (stats.recovered_nodes > 0) {
     stats.mean_failover_latency =
         latency_total / static_cast<double>(stats.recovered_nodes);
+  }
+  if (observation_ != nullptr) {
+    auto& m = observation_->metrics;
+    m.counter("robust.recovered_nodes").add(stats.recovered_nodes);
+    m.counter("robust.join_fallbacks").add(stats.join_fallbacks);
+    m.counter("robust.join_conflicts_repaired")
+        .add(stats.join_conflicts_repaired);
   }
   return result;
 }

@@ -32,6 +32,11 @@ class RecoveryInstance {
   /// Nodes scheduled as late arrivals (empty when join_fraction == 0).
   const std::vector<graph::NodeId>& joiners() const { return joiners_; }
 
+  /// Attaches trace + metrics sinks to the simulator and every
+  /// SelfHealingNode (which wire their wrapped MwNodes through). Call before
+  /// run(); null detaches. See core::MwInstance::attach_observation.
+  void attach_observation(obs::RunObservation* observation);
+
   /// Executes the protocol and extracts the result. Call once.
   core::MwRunResult run();
 
@@ -42,6 +47,7 @@ class RecoveryInstance {
   std::unique_ptr<radio::Simulator> simulator_;
   std::vector<SelfHealingNode*> nodes_;  // owned by the simulator
   std::vector<graph::NodeId> joiners_;
+  obs::RunObservation* observation_ = nullptr;
 };
 
 /// Convenience wrapper: build a RecoveryInstance and run it.

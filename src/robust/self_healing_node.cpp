@@ -27,14 +27,29 @@ SelfHealingNode::SelfHealingNode(graph::NodeId id, const core::MwParams& params,
   SINRCOLOR_CHECK(options_.backoff >= 1.0);
 }
 
+void SelfHealingNode::set_observation(obs::RunObservation* observation) {
+  observation_ = observation;
+  if (inner_ != nullptr) inner_->set_observation(observation);
+}
+
 void SelfHealingNode::transition_to(JoinPhase next) {
   SINRCOLOR_CHECK_MSG(join_transition_allowed(join_phase_, next),
                       "illegal JoinPhase transition (kJoinTransitionTable)");
+  const JoinPhase from = join_phase_;
   join_phase_ = next;
+  // Skip the no-op kInactive -> kInactive edge every non-joiner wake takes.
+  if (from == JoinPhase::kInactive && next == JoinPhase::kInactive) return;
+  if (observation_ != nullptr) {
+    observation_->trace.record(last_slot_, obs::EventKind::kJoinTransition,
+                               id_, obs::kNoNode,
+                               static_cast<std::int32_t>(from),
+                               static_cast<std::int64_t>(next));
+  }
 }
 
 void SelfHealingNode::start_inner(radio::Slot slot) {
   inner_ = std::make_unique<core::MwNode>(id_, params_);
+  inner_->set_observation(observation_);
   inner_->on_wake(slot);
   requesting_since_ = -1;
   last_leader_heard_ = -1;
@@ -42,6 +57,7 @@ void SelfHealingNode::start_inner(radio::Slot slot) {
 
 void SelfHealingNode::on_wake(radio::Slot slot) {
   SINRCOLOR_CHECK_MSG(slot >= 0, "on_wake with a negative slot");
+  last_slot_ = slot;
   // A second on_wake is a revival (join slot after a failure slot): the node
   // restarts from scratch, forgetting any pre-crash protocol state.
   transition_to(JoinPhase::kInactive);
@@ -66,6 +82,12 @@ void SelfHealingNode::on_wake(radio::Slot slot) {
 void SelfHealingNode::fail_over(radio::Slot slot) {
   ++failovers_;
   if (first_failover_slot_ < 0) first_failover_slot_ = slot;
+  if (observation_ != nullptr) {
+    observation_->trace.record(slot, obs::EventKind::kFailover, id_,
+                               inner_->leader(),
+                               static_cast<std::int32_t>(failovers_));
+    observation_->metrics.counter("robust.failovers").add();
+  }
   suspect_timeout_ = static_cast<radio::Slot>(
       static_cast<double>(suspect_timeout_) * options_.backoff);
   inner_->restart_election();
@@ -77,6 +99,7 @@ std::optional<radio::Message> SelfHealingNode::begin_slot(radio::Slot slot,
                                                           common::Rng& rng) {
   SINRCOLOR_CHECK_MSG(join_phase_ != JoinPhase::kInactive || inner_ != nullptr,
                       "begin_slot on a sleeping self-healing node");
+  last_slot_ = slot;
   if (join_phase_ != JoinPhase::kInactive) return join_begin_slot(slot, rng);
 
   // Failure detection: a requester whose leader has been silent past the
@@ -105,6 +128,7 @@ std::optional<radio::Message> SelfHealingNode::begin_slot(radio::Slot slot,
 void SelfHealingNode::on_receive(radio::Slot slot, const radio::Message& msg) {
   SINRCOLOR_CHECK_MSG(join_phase_ != JoinPhase::kInactive || inner_ != nullptr,
                       "delivery to a sleeping self-healing node");
+  last_slot_ = slot;
   if (join_phase_ != JoinPhase::kInactive) {
     join_receive(msg);
     return;
@@ -170,6 +194,11 @@ std::optional<radio::Message> SelfHealingNode::join_begin_slot(
       if (join_phase_ == JoinPhase::kConfirming && --confirm_remaining_ <= 0) {
         transition_to(JoinPhase::kConfirmed);
         confirmed_once_ = true;
+        if (observation_ != nullptr) {
+          observation_->trace.record(slot, obs::EventKind::kColorFinalized,
+                                     id_, obs::kNoNode, 0,
+                                     static_cast<std::int64_t>(join_color_));
+        }
       }
       // Beacon the (tentative or held) color like a colored node; the M_J
       // kind keeps it distinguishable from a settled M_C so joiner/joiner

@@ -28,6 +28,7 @@
 #include "core/mw_node.h"
 #include "core/mw_params.h"
 #include "core/recovery_types.h"
+#include "obs/observation.h"
 #include "radio/protocol.h"
 
 namespace sinrcolor::robust {
@@ -61,6 +62,13 @@ class SelfHealingNode final : public radio::Protocol {
   std::size_t conflicts_repaired() const { return conflicts_repaired_; }
   /// The wrapped MW node (null while the fast-join path runs).
   const core::MwNode* inner() const { return inner_.get(); }
+
+  // --- observability (src/obs) ---
+  /// Attaches trace + metrics sinks: join-phase transitions, failovers and
+  /// fast-join color decisions are emitted here; the wrapped MwNode (current
+  /// and any created later by fallback/revival) is wired through. Null
+  /// detaches.
+  void set_observation(obs::RunObservation* observation);
 
  private:
   enum class JoinPhase : std::uint8_t {
@@ -115,6 +123,11 @@ class SelfHealingNode final : public radio::Protocol {
   const core::MwParams& params_;
   const core::RecoveryOptions options_;
   const bool joiner_;
+
+  // Observability sinks (null when unobserved); last_slot_ lets
+  // transition_to stamp events although join_receive carries no slot.
+  obs::RunObservation* observation_ = nullptr;
+  radio::Slot last_slot_ = 0;
 
   std::unique_ptr<core::MwNode> inner_;
 

@@ -15,6 +15,7 @@
 #include "core/report.h"
 #include "geometry/deployment.h"
 #include "graph/unit_disk_graph.h"
+#include "obs/observation.h"
 #include "robust/recovery_protocol.h"
 
 namespace sinrcolor {
@@ -78,6 +79,60 @@ TEST(Determinism, AdaptiveRunIsSeedStable) {
   EXPECT_EQ(first.mean_final_delta, second.mean_final_delta);
   EXPECT_EQ(first.metrics.slots_executed, second.metrics.slots_executed);
   EXPECT_EQ(first.metrics.total_transmissions, second.metrics.total_transmissions);
+}
+
+TEST(Determinism, TracingDoesNotPerturbThePlainRun) {
+  // The observability layer must be a pure read: attaching a trace + metrics
+  // sink to a run may not change a single byte of its report. (Emission sites
+  // never touch the RNG stream; this is the dynamic check of that claim.)
+  const auto g = scenario_graph(82);
+  core::MwRunConfig cfg;
+  cfg.seed = 77;
+  const std::string untraced = core::to_json(core::run_mw_coloring(g, cfg));
+
+  obs::RunObservation observation(std::size_t{1} << 22);
+  core::MwInstance instance(g, cfg);
+  instance.attach_observation(&observation);
+  const std::string traced = core::to_json(instance.run());
+  EXPECT_EQ(untraced, traced);
+  EXPECT_GT(observation.trace.recorded(), 0u);  // the sink did observe
+}
+
+TEST(Determinism, TracingDoesNotPerturbTheRecoveryRun) {
+  const auto g = scenario_graph(83);
+  core::MwRunConfig cfg;
+  cfg.seed = 4321;
+  cfg.recovery.enabled = true;
+  cfg.failure_fraction = 0.05;
+  cfg.failure_window = 150;
+  cfg.recovery.join_fraction = 0.10;
+  cfg.recovery.join_at = 80;
+  cfg.recovery.join_window = 120;
+  const std::string untraced = core::to_json(robust::run_recovering_mw(g, cfg));
+
+  obs::RunObservation observation(std::size_t{1} << 22);
+  robust::RecoveryInstance instance(g, cfg);
+  instance.attach_observation(&observation);
+  const std::string traced = core::to_json(instance.run());
+  EXPECT_EQ(untraced, traced);
+  EXPECT_GT(observation.trace.recorded(), 0u);
+}
+
+TEST(Determinism, ObservedReportIsByteStable) {
+  // Same seed, sink attached both times: the full report INCLUDING the
+  // observability section (trace totals + metrics registry) must match
+  // byte for byte — the registry iterates in std::map order by design.
+  const auto g = scenario_graph(84);
+  core::MwRunConfig cfg;
+  cfg.seed = 100;
+  const auto observed_run = [&]() {
+    obs::RunObservation observation(std::size_t{1} << 20);
+    core::MwInstance instance(g, cfg);
+    instance.attach_observation(&observation);
+    const auto result = instance.run();
+    return core::to_json(result, observation, true);
+  };
+  EXPECT_EQ(observed_run(), observed_run());
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentTraffic) {

@@ -1,0 +1,271 @@
+// Tests for the observability layer (src/obs): event naming, the ring
+// buffer's drop-oldest policy, JSONL round-tripping, histogram bucket edges,
+// and the digest's exact agreement with the simulator's own RunMetrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mw_node.h"
+#include "core/mw_protocol.h"
+#include "geometry/deployment.h"
+#include "graph/unit_disk_graph.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/observation.h"
+#include "obs/trace.h"
+#include "robust/recovery_protocol.h"
+
+namespace sinrcolor {
+namespace {
+
+TEST(TraceNames, EventKindNamesRoundTrip) {
+  for (std::size_t i = 0; i < obs::kEventKindCount; ++i) {
+    const auto kind = static_cast<obs::EventKind>(i);
+    const std::string name = obs::to_string(kind);
+    EXPECT_NE(name, "?");
+    obs::EventKind parsed;
+    ASSERT_TRUE(obs::event_kind_from_string(name, parsed)) << name;
+    EXPECT_EQ(parsed, kind);
+  }
+  obs::EventKind parsed;
+  EXPECT_FALSE(obs::event_kind_from_string("no_such_kind", parsed));
+}
+
+TEST(TraceNames, MwStateNamesMatchCoreToString) {
+  // obs cannot include core (layering), so it carries its own copy of the
+  // state names; this is the drift guard the header promises.
+  for (std::size_t i = 0; i < core::kMwStateCount; ++i) {
+    EXPECT_STREQ(obs::mw_state_name(static_cast<std::int64_t>(i)),
+                 core::to_string(static_cast<core::MwStateKind>(i)));
+  }
+  EXPECT_STREQ(obs::mw_state_name(-1), "?");
+  EXPECT_STREQ(obs::mw_state_name(6), "?");
+}
+
+TEST(TraceNames, JoinPhaseNamesAreStableWireNames) {
+  // robust::SelfHealingNode::JoinPhase has no to_string; these literals ARE
+  // the wire names (kInactive, kListening, kConfirming, kConfirmed).
+  EXPECT_STREQ(obs::join_phase_name(0), "inactive");
+  EXPECT_STREQ(obs::join_phase_name(1), "listening");
+  EXPECT_STREQ(obs::join_phase_name(2), "confirming");
+  EXPECT_STREQ(obs::join_phase_name(3), "confirmed");
+  EXPECT_STREQ(obs::join_phase_name(4), "?");
+}
+
+TEST(Tracer, RingDropsOldestOnOverflow) {
+  obs::Tracer tracer(4);
+  for (std::int64_t s = 0; s < 6; ++s) {
+    tracer.record(s, obs::EventKind::kTx, static_cast<obs::NodeId>(s));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.recorded(), 6u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].slot, static_cast<obs::Slot>(i + 2));  // 0,1 dropped
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, NullSinkMacroSkipsArgumentEvaluation) {
+  obs::Tracer* tracer = nullptr;
+  int evaluations = 0;
+  const auto payload = [&]() { return ++evaluations; };
+  SINRCOLOR_TRACE(tracer, 0, obs::EventKind::kTx, 0u, obs::kNoNode, payload());
+  EXPECT_EQ(evaluations, 0);
+  obs::Tracer live(4);
+  SINRCOLOR_TRACE(&live, 0, obs::EventKind::kTx, 0u, obs::kNoNode, payload());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(live.size(), 1u);
+}
+
+TEST(JsonlExport, RoundTripIsLossless) {
+  obs::TraceMeta meta;
+  meta.node_count = 7;
+  meta.seed = 424242;
+  meta.scenario = "quoted \"name\"\twith\nescapes\\";
+  meta.recorded = 20;
+  meta.dropped = 3;
+
+  std::vector<obs::TraceEvent> events;
+  for (std::size_t i = 0; i < obs::kEventKindCount; ++i) {
+    obs::TraceEvent e;
+    e.slot = static_cast<obs::Slot>(100 + i);
+    e.kind = static_cast<obs::EventKind>(i);
+    e.node = static_cast<obs::NodeId>(i % 7);
+    e.peer = i % 2 == 0 ? static_cast<obs::NodeId>((i + 1) % 7) : obs::kNoNode;
+    e.a = static_cast<std::int32_t>(i) - 3;       // negatives survive
+    e.b = -static_cast<std::int64_t>(i) * 1000000000000LL;  // wide payload
+    events.push_back(e);
+  }
+
+  std::stringstream buf;
+  obs::write_jsonl(meta, events, buf);
+
+  obs::TraceMeta parsed_meta;
+  std::vector<obs::TraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::read_jsonl(buf, parsed_meta, parsed, &error)) << error;
+  EXPECT_EQ(parsed_meta, meta);
+  EXPECT_EQ(parsed, events);
+}
+
+TEST(JsonlExport, RejectsMalformedInput) {
+  obs::TraceMeta meta;
+  std::vector<obs::TraceEvent> events;
+  std::string error;
+
+  std::stringstream wrong_schema(
+      "{\"schema\":\"other.v9\",\"node_count\":1,\"seed\":0,\"scenario\":\"\","
+      "\"recorded\":0,\"dropped\":0}\n");
+  EXPECT_FALSE(obs::read_jsonl(wrong_schema, meta, events, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+
+  std::stringstream garbage_event;
+  obs::write_jsonl(obs::TraceMeta{}, {}, garbage_event);
+  garbage_event << "not json\n";
+  garbage_event.seekg(0);
+  EXPECT_FALSE(obs::read_jsonl(garbage_event, meta, events, &error));
+  EXPECT_NE(error.find("line"), std::string::npos) << error;
+}
+
+TEST(Histogram, BucketEdgesAreUpperInclusive) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 edges + overflow
+  h.record(0.5);   // <= 1.0          -> bucket 0
+  h.record(1.0);   // == edge 0       -> bucket 0 (upper-inclusive)
+  h.record(1.5);   // (1, 2]          -> bucket 1
+  h.record(2.0);   // == edge 1       -> bucket 1
+  h.record(4.0);   // == last edge    -> bucket 2
+  h.record(4.001); // > last edge     -> overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 4.001);
+  EXPECT_NEAR(h.mean(), (0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.001) / 6.0, 1e-12);
+}
+
+TEST(MetricsRegistry, NamesAreStableHandles) {
+  obs::MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  registry.counter("a").add(2);
+  registry.counter("a").add(3);
+  EXPECT_EQ(registry.counter("a").value(), 5u);
+  auto& h = registry.histogram("h", {1.0, 2.0});
+  registry.histogram("h", {1.0, 2.0}).record(1.5);
+  EXPECT_EQ(h.total(), 1u);  // same edges -> same histogram object
+  EXPECT_FALSE(registry.empty());
+  // Exported JSON is ordered (std::map) and therefore byte-stable.
+  EXPECT_EQ(registry.to_json(), registry.to_json());
+}
+
+// --- digest / end-to-end agreement with the simulator -----------------------
+
+TEST(Digest, MatchesRunMetricsExactly) {
+  common::Rng rng(91);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(40, 2.8, rng), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 17;
+  cfg.wakeup = core::WakeupKind::kUniform;
+  cfg.wakeup_window = 300;
+
+  obs::RunObservation observation(std::size_t{1} << 22);
+  core::MwInstance instance(g, cfg);
+  instance.attach_observation(&observation);
+  const auto result = instance.run();
+  ASSERT_TRUE(result.metrics.all_decided);
+  ASSERT_EQ(observation.trace.dropped(), 0u);
+
+  const auto digest = obs::build_digest(observation.trace.events(), g.size());
+  ASSERT_EQ(digest.size(), g.size());
+  for (graph::NodeId v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(digest[v].first_wake, result.metrics.wake_slot[v]) << v;
+    EXPECT_EQ(digest[v].decision_slot, result.metrics.decision_slot[v]) << v;
+    EXPECT_EQ(digest[v].final_color,
+              static_cast<std::int64_t>(result.coloring.color[v]))
+        << v;
+    EXPECT_EQ(digest[v].death_slot, -1) << v;
+  }
+  std::size_t digest_leaders = 0;
+  for (const auto& d : digest) digest_leaders += d.leader ? 1u : 0u;
+  EXPECT_EQ(digest_leaders, result.leaders.size());
+
+  const auto table = obs::render_digest(digest);
+  EXPECT_NE(table.find("decided"), std::string::npos);
+  // Filtering to one node keeps the header but drops the other 39 rows.
+  const auto filtered = obs::render_digest(digest, 3);
+  EXPECT_LT(std::count(filtered.begin(), filtered.end(), '\n'),
+            std::count(table.begin(), table.end(), '\n'));
+}
+
+TEST(Digest, FailoverAndDeathAreVisibleInTheTrace) {
+  // The X14 orphaned-requester scenario (see recovery_test.cpp): probe when
+  // the member commits, kill its leader right after, and expect the trace to
+  // carry the death and the self-healing failover.
+  graph::UnitDiskGraph g(geometry::line_deployment(2, 0.5), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 5;
+  cfg.recovery.enabled = true;
+
+  graph::NodeId leader = graph::kInvalidNode;
+  graph::NodeId member = graph::kInvalidNode;
+  radio::Slot request_entry = -1;
+  {
+    robust::RecoveryInstance probe(g, cfg);
+    const auto& nodes = probe.nodes();
+    probe.simulator().add_observer(
+        [&](radio::Slot slot, std::span<const radio::TxRecord>) {
+          for (graph::NodeId v = 0; v < 2; ++v) {
+            const core::MwNode* inner = nodes[v]->inner();
+            if (request_entry < 0 && inner != nullptr &&
+                inner->state() == core::MwStateKind::kRequesting) {
+              request_entry = slot;
+              member = v;
+            }
+          }
+        });
+    const auto clean = probe.run();
+    ASSERT_TRUE(clean.metrics.all_decided);
+    ASSERT_EQ(clean.leaders.size(), 1u);
+    leader = clean.leaders.front();
+    ASSERT_GE(request_entry, 0);
+    ASSERT_NE(member, leader);
+  }
+
+  obs::RunObservation observation(std::size_t{1} << 20);
+  robust::RecoveryInstance instance(g, cfg);  // same seed => identical prefix
+  instance.attach_observation(&observation);
+  instance.simulator().set_failure_slot(leader, request_entry + 1);
+  const auto result = instance.run();
+  ASSERT_EQ(result.metrics.stalled_nodes, 0u);
+
+  const auto events = observation.trace.events();
+  bool saw_failover = false, saw_death = false;
+  for (const auto& e : events) {
+    saw_failover |= e.kind == obs::EventKind::kFailover && e.node == member;
+    saw_death |= e.kind == obs::EventKind::kFailure && e.node == leader;
+  }
+  EXPECT_TRUE(saw_failover);
+  EXPECT_TRUE(saw_death);
+
+  const auto digest = obs::build_digest(events, g.size());
+  EXPECT_GE(digest[member].failover_count, 1u);
+  EXPECT_EQ(digest[leader].death_slot, request_entry + 1);
+  EXPECT_NE(digest[member].final_color, -1);
+  EXPECT_EQ(observation.metrics.counter("robust.failovers").value(),
+            digest[member].failover_count);
+}
+
+}  // namespace
+}  // namespace sinrcolor

@@ -6,6 +6,7 @@
 #include "core/timeline.h"
 #include "geometry/deployment.h"
 #include "graph/packing.h"
+#include "obs/observation.h"
 
 namespace sinrcolor {
 namespace {
@@ -78,6 +79,67 @@ TEST(StateTimeline, EmptyTimelineRendersPlaceholder) {
   core::StateTimeline timeline(16);
   EXPECT_EQ(timeline.render_ascii(), "(no samples)\n");
   EXPECT_EQ(timeline.decided_fraction_slot(0.5), -1);
+}
+
+TEST(TimelineFromTrace, MatchesLiveAttachedSampling) {
+  // The offline replay (timeline_from_trace) must reproduce the counts the
+  // live observer saw at every shared sample slot: a sample at boundary s
+  // reflects all state changes up to and including slot s.
+  common::Rng rng(59);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(50, 3.0, rng), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 6;
+  cfg.wakeup = core::WakeupKind::kUniform;
+  cfg.wakeup_window = 200;
+
+  obs::RunObservation observation(std::size_t{1} << 22);
+  core::MwInstance instance(g, cfg);
+  instance.attach_observation(&observation);
+  core::StateTimeline live(64);
+  live.attach(instance);
+  (void)instance.run();
+  ASSERT_EQ(observation.trace.dropped(), 0u);
+
+  const auto events = observation.trace.events();
+  const auto replayed = core::timeline_from_trace(events, g.size(), 64);
+  ASSERT_GE(replayed.samples().size(), live.samples().size());
+  for (std::size_t i = 0; i < live.samples().size(); ++i) {
+    EXPECT_EQ(replayed.samples()[i].slot, live.samples()[i].slot) << i;
+    EXPECT_EQ(replayed.samples()[i].count, live.samples()[i].count) << i;
+  }
+  // The replay additionally closes with the end-of-run population.
+  const auto& final_count = replayed.samples().back().count;
+  std::uint32_t total = 0;
+  for (std::uint32_t c : final_count) total += c;
+  EXPECT_EQ(total, g.size());
+}
+
+TEST(TimelineFromTrace, EmptyTraceYieldsNoSamples) {
+  const auto timeline = core::timeline_from_trace({}, 10, 16);
+  EXPECT_TRUE(timeline.samples().empty());
+  EXPECT_EQ(timeline.node_count(), 10u);
+  EXPECT_EQ(timeline.render_ascii(), "(no samples)\n");
+  EXPECT_EQ(timeline.decided_fraction_slot(1.0), -1);
+}
+
+TEST(TimelineFromTrace, SingleEventProducesSingleSample) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent e;
+  e.slot = 0;
+  e.node = 2;
+  e.kind = obs::EventKind::kMwTransition;
+  e.a = static_cast<std::int32_t>(core::MwStateKind::kAsleep);
+  e.b = static_cast<std::int64_t>(core::MwStateKind::kListening);
+  events.push_back(e);
+
+  const auto timeline = core::timeline_from_trace(events, 4, 16);
+  ASSERT_EQ(timeline.samples().size(), 1u);
+  const auto& s = timeline.samples().front();
+  EXPECT_EQ(s.slot, 0);
+  EXPECT_EQ(s.count[static_cast<std::size_t>(core::MwStateKind::kAsleep)], 3u);
+  EXPECT_EQ(s.count[static_cast<std::size_t>(core::MwStateKind::kListening)],
+            1u);
+  EXPECT_NE(timeline.render_ascii().find("listening"), std::string::npos);
 }
 
 TEST(CliqueLowerBound, ExactOnHandInstances) {

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validates a sinrcolor JSONL trace against the sinrcolor.trace.v1 schema.
+
+Usage: trace_schema_check.py TRACE.jsonl [...]
+
+Checks, per file:
+  * line 1 is the meta header: schema == "sinrcolor.trace.v1" with integer
+    n (node count)/seed/recorded/dropped and a string scenario;
+  * every following line is one flat event object with exactly the keys
+    {slot, kind, node, peer, a, b}: integer slot >= 0, kind drawn from the
+    EventKind wire names (src/obs/trace.cpp), node < n, peer < n or the kNoNode sentinel (2**32 - 1);
+  * slots never decrease (the ring preserves emission order);
+  * automaton payloads are in range: mw_transition a/b are MwStateKind
+    values (0..5), join_transition a/b are JoinPhase values (0..3);
+  * the header's accounting holds: recorded - dropped == number of event
+    lines actually present.
+
+Exit status: 0 if every file validates, 1 otherwise (one line per problem,
+capped per file). Independent of the C++ reader on purpose — a second,
+dumber parser is exactly what catches exporter regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA = "sinrcolor.trace.v1"
+NO_NODE = 2**32 - 1
+EVENT_KINDS = {
+    "wake",
+    "join",
+    "revival",
+    "failure",
+    "tx",
+    "delivery",
+    "drop",
+    "mw_transition",
+    "join_transition",
+    "leader_elected",
+    "color_finalized",
+    "failover",
+    "independence_violation",
+}
+EVENT_KEYS = {"slot", "kind", "node", "peer", "a", "b"}
+MW_STATES = range(0, 6)      # MwStateKind
+JOIN_PHASES = range(0, 4)    # SelfHealingNode::JoinPhase
+MAX_ERRORS_PER_FILE = 20
+
+
+def check_file(path: str) -> list[str]:
+    errors: list[str] = []
+
+    def err(lineno: int, why: str) -> None:
+        if len(errors) < MAX_ERRORS_PER_FILE:
+            errors.append(f"{path}:{lineno}: {why}")
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as e:
+        return [f"{path}: {e}"]
+    if not lines:
+        return [f"{path}: empty file (missing meta header)"]
+
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        return [f"{path}:1: meta header is not valid JSON: {e}"]
+    if not isinstance(meta, dict) or meta.get("schema") != SCHEMA:
+        return [f"{path}:1: schema is {meta.get('schema')!r}, want {SCHEMA!r}"]
+    for key in ("n", "seed", "recorded", "dropped"):
+        if not isinstance(meta.get(key), int) or meta[key] < 0:
+            err(1, f"meta.{key} must be a non-negative integer")
+    if not isinstance(meta.get("scenario"), str):
+        err(1, "meta.scenario must be a string")
+    if errors:
+        return errors
+    node_count = meta["n"]
+
+    prev_slot = None
+    for lineno, line in enumerate(lines[1:], start=2):
+        if len(errors) >= MAX_ERRORS_PER_FILE:
+            errors.append(f"{path}: ... (further problems suppressed)")
+            break
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError as exc:
+            err(lineno, f"not valid JSON: {exc}")
+            continue
+        if not isinstance(e, dict) or set(e) != EVENT_KEYS:
+            err(lineno, f"event keys are {sorted(e) if isinstance(e, dict) else e}, want {sorted(EVENT_KEYS)}")
+            continue
+        for key in ("slot", "node", "peer", "a", "b"):
+            if not isinstance(e[key], int):
+                err(lineno, f"{key} must be an integer")
+                break
+        else:
+            if e["slot"] < 0:
+                err(lineno, f"negative slot {e['slot']}")
+            if prev_slot is not None and e["slot"] < prev_slot:
+                err(lineno, f"slot {e['slot']} < previous slot {prev_slot} (emission order broken)")
+            prev_slot = e["slot"]
+            if e["kind"] not in EVENT_KINDS:
+                err(lineno, f"unknown kind {e['kind']!r}")
+            if not 0 <= e["node"] < node_count:
+                err(lineno, f"node {e['node']} out of range [0, {node_count})")
+            if e["peer"] != NO_NODE and not 0 <= e["peer"] < node_count:
+                err(lineno, f"peer {e['peer']} out of range [0, {node_count}) and not kNoNode")
+            if e["kind"] == "mw_transition" and (e["a"] not in MW_STATES or e["b"] not in MW_STATES):
+                err(lineno, f"mw_transition payload ({e['a']}, {e['b']}) outside MwStateKind range")
+            if e["kind"] == "join_transition" and (e["a"] not in JOIN_PHASES or e["b"] not in JOIN_PHASES):
+                err(lineno, f"join_transition payload ({e['a']}, {e['b']}) outside JoinPhase range")
+
+    held = len(lines) - 1
+    if meta["recorded"] - meta["dropped"] != held:
+        err(len(lines), f"meta says recorded={meta['recorded']} dropped={meta['dropped']} but file holds {held} events")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            print("\n".join(errors))
+        else:
+            with open(path, encoding="utf-8") as fh:
+                count = sum(1 for _ in fh) - 1
+            print(f"{path}: OK ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,13 +10,24 @@
 //                          [--fail-fraction=..] [--fail-window=..]
 //                          [--join-fraction=..] [--join-at=..] [--join-window=..]
 //                          [--json=out.json] [--quiet]
+//   sinrcolor_cli trace record   [--scenario=color|recover] [graph flags]
+//                                [--out=trace.jsonl] [--chrome=trace.json]
+//                                [--json=report.json] [--capacity=..] [--quiet]
+//   sinrcolor_cli trace query    [--in=trace.jsonl] [--node=..] [--kind=..]
+//                                [--from=..] [--to=..] [--limit=..]
+//   sinrcolor_cli trace digest   [--in=trace.jsonl] [--node=..]
+//   sinrcolor_cli trace timeline [--in=trace.jsonl] [--interval=..]
+//                                [--columns=..]
 //
 // `params` prints the theory and practical constants side by side for an
 // instance size; `color` runs the distributed coloring (optionally exporting
 // the full run as JSON); `mac` builds the Theorem-3 TDMA schedule and audits
 // it; `simulate` runs a message-passing algorithm over the simulated MAC;
 // `recover` runs the self-healing protocol (src/robust) under crash-stop
-// failures and/or dynamic joins and reports the recovery metrics.
+// failures and/or dynamic joins and reports the recovery metrics; `trace`
+// records a run as a structured event trace (src/obs) and analyzes recorded
+// traces: filtered event queries, per-node lifecycle digests and the
+// state-population timeline, all reconstructed purely from the trace file.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -30,12 +41,15 @@
 #include "common/table.h"
 #include "core/mw_protocol.h"
 #include "core/report.h"
+#include "core/timeline.h"
 #include "geometry/deployment.h"
 #include "graph/graph_algos.h"
 #include "mac/algorithms.h"
 #include "mac/distance_d.h"
 #include "mac/simulation.h"
 #include "mac/tdma.h"
+#include "obs/export.h"
+#include "obs/observation.h"
 #include "robust/recovery_protocol.h"
 
 namespace {
@@ -239,11 +253,225 @@ int cmd_recover(const common::Cli& cli) {
   return result.coloring_valid && result.metrics.stalled_nodes == 0 ? 0 : 1;
 }
 
+// --- trace subcommand -------------------------------------------------------
+
+int trace_record(const common::Cli& cli) {
+  const auto g = build_graph(cli);
+  core::MwRunConfig cfg;
+  cfg.seed = cli.get_seed("seed", 1);
+  if (cli.get("wakeup", "sync") == "uniform") {
+    cfg.wakeup = core::WakeupKind::kUniform;
+    cfg.wakeup_window = cli.get_int("wakeup-window", 2000);
+  }
+  cfg.failure_fraction = cli.get_double("fail-fraction", 0.0);
+  cfg.failure_window = cli.get_int("fail-window", 0);
+  cfg.recovery.join_fraction = cli.get_double("join-fraction", 0.0);
+  cfg.recovery.join_at = cli.get_int("join-at", 0);
+  cfg.recovery.join_window = cli.get_int("join-window", 0);
+  const std::string scenario = cli.get("scenario", "color");
+  const std::string out_path = cli.get("out", "trace.jsonl");
+  const std::string chrome_path = cli.get("chrome", "");
+  const std::string json_path = cli.get("json", "");
+  const auto capacity =
+      static_cast<std::size_t>(cli.get_int("capacity", 1 << 20));
+  const bool quiet = cli.get_bool("quiet", false);
+  cli.reject_unknown();
+
+  obs::RunObservation observation(capacity);
+  const auto run_traced = [&]() -> core::MwRunResult {
+    if (scenario == "recover") {
+      cfg.recovery.enabled = true;
+      robust::RecoveryInstance instance(g, cfg);
+      instance.attach_observation(&observation);
+      return instance.run();
+    }
+    if (scenario != "color") {
+      std::fprintf(stderr, "unknown --scenario=%s (color|recover)\n",
+                   scenario.c_str());
+      std::exit(2);
+    }
+    core::MwInstance instance(g, cfg);
+    instance.attach_observation(&observation);
+    return instance.run();
+  };
+  const auto result = run_traced();
+
+  obs::TraceMeta meta;
+  meta.node_count = g.size();
+  meta.seed = cfg.seed;
+  meta.scenario = scenario;
+  meta.recorded = observation.trace.recorded();
+  meta.dropped = observation.trace.dropped();
+  const auto events = observation.trace.events();
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    obs::write_jsonl(meta, events, out);
+  }
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", chrome_path.c_str());
+      return 2;
+    }
+    obs::write_chrome_trace(meta, events, out);
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << core::to_json(result, observation, true) << '\n';
+  }
+  if (!quiet) {
+    std::printf("graph: n=%zu Delta=%zu avg_deg=%.1f\n", g.size(),
+                g.max_degree(), g.average_degree());
+    std::printf("result: %s\n", result.summary().c_str());
+    std::printf("trace: %llu events recorded, %llu dropped -> %s\n",
+                static_cast<unsigned long long>(meta.recorded),
+                static_cast<unsigned long long>(meta.dropped),
+                out_path.c_str());
+    if (!chrome_path.empty()) {
+      std::printf("chrome trace (chrome://tracing, ui.perfetto.dev): %s\n",
+                  chrome_path.c_str());
+    }
+    if (!json_path.empty()) {
+      std::printf("report with observability summary: %s\n",
+                  json_path.c_str());
+    }
+  }
+  return result.coloring_valid && result.metrics.stalled_nodes == 0 ? 0 : 1;
+}
+
+/// Loads --in (default trace.jsonl); exits with an error message on failure.
+void load_trace(const common::Cli& cli, obs::TraceMeta& meta,
+                std::vector<obs::TraceEvent>& events) {
+  const std::string in_path = cli.get("in", "trace.jsonl");
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    std::exit(2);
+  }
+  std::string error;
+  if (!obs::read_jsonl(in, meta, events, &error)) {
+    std::fprintf(stderr, "%s: %s\n", in_path.c_str(), error.c_str());
+    std::exit(2);
+  }
+}
+
+int trace_query(const common::Cli& cli) {
+  obs::TraceMeta meta;
+  std::vector<obs::TraceEvent> events;
+  load_trace(cli, meta, events);
+  const std::int64_t node = cli.get_int("node", -1);
+  const std::string kind_name = cli.get("kind", "");
+  const std::int64_t from = cli.get_int("from", 0);
+  const std::int64_t to = cli.get_int("to", -1);
+  const auto limit = cli.get_int("limit", 0);  // 0 = unlimited
+  cli.reject_unknown();
+
+  obs::EventKind kind_filter = obs::EventKind::kWake;
+  const bool has_kind = !kind_name.empty();
+  if (has_kind && !obs::event_kind_from_string(kind_name, kind_filter)) {
+    std::fprintf(stderr, "unknown --kind=%s\n", kind_name.c_str());
+    return 2;
+  }
+
+  std::int64_t shown = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (node >= 0 && e.node != static_cast<obs::NodeId>(node)) continue;
+    if (has_kind && e.kind != kind_filter) continue;
+    if (e.slot < from || (to >= 0 && e.slot > to)) continue;
+    std::printf("slot=%-8lld %-22s node=%u", static_cast<long long>(e.slot),
+                obs::to_string(e.kind), e.node);
+    if (e.peer != obs::kNoNode) std::printf(" peer=%u", e.peer);
+    switch (e.kind) {
+      case obs::EventKind::kMwTransition:
+        std::printf(" %s->%s", obs::mw_state_name(e.a),
+                    obs::mw_state_name(e.b));
+        break;
+      case obs::EventKind::kJoinTransition:
+        std::printf(" %s->%s", obs::join_phase_name(e.a),
+                    obs::join_phase_name(e.b));
+        break;
+      case obs::EventKind::kColorFinalized:
+      case obs::EventKind::kIndependenceViolation:
+        std::printf(" color=%lld", static_cast<long long>(e.b));
+        break;
+      default:
+        if (e.a != 0 || e.b != 0) {
+          std::printf(" a=%d b=%lld", e.a, static_cast<long long>(e.b));
+        }
+        break;
+    }
+    std::printf("\n");
+    if (limit > 0 && ++shown >= limit) break;
+  }
+  return 0;
+}
+
+int trace_digest(const common::Cli& cli) {
+  obs::TraceMeta meta;
+  std::vector<obs::TraceEvent> events;
+  load_trace(cli, meta, events);
+  const std::int64_t node = cli.get_int("node", -1);
+  cli.reject_unknown();
+
+  std::printf("trace: scenario=%s n=%llu seed=%llu events=%zu dropped=%llu\n",
+              meta.scenario.c_str(),
+              static_cast<unsigned long long>(meta.node_count),
+              static_cast<unsigned long long>(meta.seed), events.size(),
+              static_cast<unsigned long long>(meta.dropped));
+  const auto digest =
+      obs::build_digest(events, static_cast<std::size_t>(meta.node_count));
+  std::fputs(obs::render_digest(digest, node).c_str(), stdout);
+  return 0;
+}
+
+int trace_timeline(const common::Cli& cli) {
+  obs::TraceMeta meta;
+  std::vector<obs::TraceEvent> events;
+  load_trace(cli, meta, events);
+  const auto columns =
+      static_cast<std::size_t>(cli.get_int("columns", 72));
+  radio::Slot interval = cli.get_int("interval", 0);
+  cli.reject_unknown();
+
+  if (interval <= 0) {
+    const radio::Slot last = events.empty() ? 0 : events.back().slot;
+    interval = std::max<radio::Slot>(
+        1, last / static_cast<radio::Slot>(columns));
+  }
+  const auto timeline = core::timeline_from_trace(
+      events, static_cast<std::size_t>(meta.node_count), interval);
+  std::fputs(timeline.render_ascii(columns).c_str(), stdout);
+  const radio::Slot half = timeline.decided_fraction_slot(0.5);
+  const radio::Slot all = timeline.decided_fraction_slot(1.0);
+  std::printf("50%% decided by slot %lld, 100%% by %lld (-1 = not reached)\n",
+              static_cast<long long>(half), static_cast<long long>(all));
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  // trace <mode> [--flags]; the mode may be omitted only for usage errors.
+  if (argc < 3 || argv[2][0] == '-') usage();
+  const std::string mode = argv[2];
+  const common::Cli cli(argc - 2, argv + 2);
+  if (mode == "record") return trace_record(cli);
+  if (mode == "query") return trace_query(cli);
+  if (mode == "digest") return trace_digest(cli);
+  if (mode == "timeline") return trace_timeline(cli);
+  std::fprintf(stderr, "unknown trace mode '%s' (record|query|digest|timeline)\n",
+               mode.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  if (command == "trace") return cmd_trace(argc, argv);
   const common::Cli cli(argc - 1, argv + 1);
   if (command == "params") return cmd_params(cli);
   if (command == "color") return cmd_color(cli);
