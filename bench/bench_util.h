@@ -9,8 +9,10 @@
 // sidecar — machine-readable ground truth next to the human-readable table.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -18,9 +20,11 @@
 #include "common/cli.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "core/mw_protocol.h"
 #include "geometry/deployment.h"
 #include "graph/unit_disk_graph.h"
 #include "obs/observation.h"
+#include "sinr/field_engine.h"
 #include "sinr/params.h"
 
 namespace sinrcolor::bench {
@@ -55,6 +59,41 @@ inline int print_verdict(bool pass, const std::string& detail) {
   std::printf("verdict: %s — %s\n", pass ? "PASS" : "FAIL", detail.c_str());
   return pass ? 0 : 1;
 }
+
+/// Applies `--resolve=field|naive` and `--threads=N` (the SINR reception path
+/// and its worker count — see docs/PERFORMANCE.md) to a run config. Both
+/// knobs change wall time only, never results, so harness claims are
+/// path-independent. Exits with a usage error on bad values.
+inline void apply_resolve_flags(const common::Cli& cli,
+                                core::MwRunConfig& cfg) {
+  const std::string resolve = cli.get("resolve", "field");
+  if (!sinr::resolve_kind_from_string(resolve, cfg.resolve)) {
+    std::printf("unknown --resolve=%s (field|naive)\n", resolve.c_str());
+    std::exit(2);
+  }
+  const auto threads = cli.get_int("threads", 1);
+  if (threads < 1) {
+    std::printf("--threads must be >= 1\n");
+    std::exit(2);
+  }
+  cfg.threads = static_cast<std::size_t>(threads);
+}
+
+/// Monotonic wall-clock stopwatch for before/after speedup tables.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  /// Microseconds elapsed since construction or the last reset().
+  std::uint64_t elapsed_us() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Opt-in metrics sidecar, driven by `--metrics-out=PATH`. When the flag is
 /// absent, observation() is null and the harness runs exactly as before

@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   const double avg = cli.get_double("avg-degree", 10.0);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 2));
   const std::string csv_path = cli.get("csv", "");
+  core::MwRunConfig base_cfg;
+  bench::apply_resolve_flags(cli, base_cfg);
   bench::MetricsSidecar sidecar(cli);
   cli.reject_unknown();
 
@@ -32,21 +34,29 @@ int main(int argc, char** argv) {
   if (full) sizes.push_back(2048);
 
   common::Table table({"n", "Delta", "max_latency", "mean_latency",
-                       "latency/(Delta*ln n)", "valid"});
+                       "latency/(Delta*ln n)", "wall_ms", "valid"});
   std::vector<double> constants;
   bool all_valid = true;
 
   for (std::size_t n : sizes) {
-    common::Accumulator delta_acc, max_lat, mean_lat, norm;
+    common::Accumulator delta_acc, max_lat, mean_lat, norm, wall_ms;
     for (std::uint64_t s = 0; s < seeds; ++s) {
       const auto g = bench::uniform_graph_with_density(n, avg, 2000 + s);
-      core::MwRunConfig cfg;
+      core::MwRunConfig cfg = base_cfg;
       cfg.seed = 7000 + s;
       core::MwInstance instance(g, cfg);
       if (sidecar.observation() != nullptr) {
         instance.attach_observation(sidecar.observation());
       }
+      const bench::WallTimer timer;
       const auto r = instance.run();
+      const std::uint64_t us = timer.elapsed_us();
+      wall_ms.add(static_cast<double>(us) / 1000.0);
+      if (sidecar.observation() != nullptr) {
+        auto& m = sidecar.observation()->metrics;
+        m.counter("x2.wall_us.n=" + std::to_string(n)).add(us);
+        m.counter("x2.runs.n=" + std::to_string(n)).add(1);
+      }
       all_valid &= r.coloring_valid && r.metrics.all_decided;
       const double latency =
           static_cast<double>(r.metrics.max_decision_latency());
@@ -63,6 +73,7 @@ int main(int argc, char** argv) {
                    common::Table::num(max_lat.mean(), 0),
                    common::Table::num(mean_lat.mean(), 0),
                    common::Table::num(norm.mean(), 1),
+                   common::Table::num(wall_ms.mean(), 1),
                    all_valid ? "yes" : "NO"});
   }
   table.print(std::cout);

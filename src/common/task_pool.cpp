@@ -1,0 +1,76 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sinrcolor::common {
+
+TaskPool::TaskPool(std::size_t threads) : threads_(std::max<std::size_t>(1, threads)) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::pair<std::size_t, std::size_t> TaskPool::shard_range(std::size_t total,
+                                                          std::size_t shards,
+                                                          std::size_t s) {
+  const std::size_t base = total / shards;
+  const std::size_t extra = total % shards;
+  const std::size_t begin = s * base + std::min(s, extra);
+  return {begin, begin + base + (s < extra ? 1 : 0)};
+}
+
+void TaskPool::drain_job(std::unique_lock<std::mutex>& lock) {
+  while (next_shard_ < job_shards_) {
+    const std::size_t s = next_shard_++;
+    lock.unlock();
+    (*job_)(s);
+    lock.lock();
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+void TaskPool::run_shards(std::size_t shards,
+                          const std::function<void(std::size_t)>& fn) {
+  if (shards == 0) return;
+  if (workers_.empty() || shards == 1) {
+    for (std::size_t s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  SINRCOLOR_CHECK_MSG(job_ == nullptr, "TaskPool::run_shards is not reentrant");
+  job_ = &fn;
+  job_shards_ = shards;
+  next_shard_ = 0;
+  remaining_ = shards;
+  ++generation_;
+  work_cv_.notify_all();
+  drain_job(lock);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  job_shards_ = 0;
+}
+
+void TaskPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    drain_job(lock);
+  }
+}
+
+}  // namespace sinrcolor::common

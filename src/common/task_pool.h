@@ -1,0 +1,69 @@
+// Deterministic fork-join worker pool for per-slot parallel resolves.
+//
+// A job is a fixed number of independent shards. Work is never stolen or
+// re-partitioned: callers split their data into contiguous shards themselves
+// and shard s is fully processed by exactly one fn(s) call, so a 1-thread
+// and an N-thread run perform identical per-shard arithmetic, and any merge
+// done in shard order afterwards is byte-identical. Workers claim shard
+// indices from a shared counter — only the ASSIGNMENT of shard to worker
+// varies between runs, never the work or the merged result
+// (tests/determinism_test.cpp holds the simulator to this).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sinrcolor::common {
+
+class TaskPool {
+ public:
+  /// `threads` is clamped to ≥ 1. A 1-thread pool spawns no workers and
+  /// run_shards executes inline, so the default configuration costs nothing.
+  /// The calling thread always participates in a job, so `threads` counts it
+  /// (threads = 4 ⇒ 3 workers + the caller).
+  explicit TaskPool(std::size_t threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t thread_count() const { return threads_; }
+
+  /// Invokes fn(s) exactly once for every shard s in [0, shards), possibly
+  /// concurrently, and blocks until every call returned. fn must not throw;
+  /// shards must not share mutable state. Not reentrant.
+  void run_shards(std::size_t shards,
+                  const std::function<void(std::size_t)>& fn);
+
+  /// Contiguous [begin, end) range of shard `s` when `total` items are split
+  /// into `shards` near-equal chunks (the remainder spreads over the first
+  /// chunks). Pure function — the partition never depends on timing.
+  static std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
+                                                         std::size_t shards,
+                                                         std::size_t s);
+
+ private:
+  void worker_loop();
+  /// Claims and runs shards until none remain; `lock` is held on entry/exit.
+  void drain_job(std::unique_lock<std::mutex>& lock);
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_shards_ = 0;
+  std::size_t next_shard_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sinrcolor::common

@@ -1,9 +1,9 @@
 #include "mac/simulation.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/check.h"
+#include "radio/interference_model.h"
 #include "sinr/medium_field.h"
 #include "sinr/reception.h"
 
@@ -39,8 +39,7 @@ ExecutionResult run_over_sinr_tdma(
   SINRCOLOR_CHECK(nodes.size() == g.size());
   SINRCOLOR_CHECK(schedule.size() == g.size());
   phys.validate();
-  SINRCOLOR_CHECK_MSG(std::abs(g.radius() - phys.r_t()) <= 1e-9 * phys.r_t(),
-                      "UDG radius must equal the physical-layer R_T");
+  radio::check_radius_matches_phys(g, phys);
 
   // Precompute slot membership once; it is static across rounds.
   std::vector<std::vector<graph::NodeId>> by_slot(schedule.frame_length());
@@ -132,8 +131,7 @@ ExecutionResult run_general_over_sinr_tdma(
   SINRCOLOR_CHECK(nodes.size() == g.size());
   SINRCOLOR_CHECK(schedule.size() == g.size());
   phys.validate();
-  SINRCOLOR_CHECK_MSG(std::abs(g.radius() - phys.r_t()) <= 1e-9 * phys.r_t(),
-                      "UDG radius must equal the physical-layer R_T");
+  radio::check_radius_matches_phys(g, phys);
 
   std::vector<std::vector<graph::NodeId>> by_slot(schedule.frame_length());
   for (graph::NodeId v = 0; v < g.size(); ++v) {

@@ -7,13 +7,31 @@
 
 namespace sinrcolor::radio {
 
-SinrInterferenceModel::SinrInterferenceModel(const graph::UnitDiskGraph& graph,
-                                             sinr::SinrParams params)
-    : graph_(graph), params_(params) {
-  params_.validate();
-  const double mismatch = std::abs(graph_.radius() - params_.r_t());
-  SINRCOLOR_CHECK_MSG(mismatch <= 1e-9 * params_.r_t(),
+namespace {
+
+std::unique_ptr<common::TaskPool> make_pool(const ResolveOptions& options) {
+  if (options.threads <= 1) return nullptr;
+  return std::make_unique<common::TaskPool>(options.threads);
+}
+
+}  // namespace
+
+void check_radius_matches_phys(const graph::UnitDiskGraph& graph,
+                               const sinr::SinrParams& params) {
+  const double mismatch = std::abs(graph.radius() - params.r_t());
+  SINRCOLOR_CHECK_MSG(mismatch <= 1e-9 * params.r_t(),
                       "UDG radius must equal the physical-layer R_T");
+}
+
+SinrInterferenceModel::SinrInterferenceModel(const graph::UnitDiskGraph& graph,
+                                             sinr::SinrParams params,
+                                             ResolveOptions options)
+    : graph_(graph),
+      params_(params),
+      options_(options),
+      pool_(make_pool(options)) {
+  params_.validate();
+  check_radius_matches_phys(graph_, params_);
 }
 
 void SinrInterferenceModel::resolve(
@@ -24,6 +42,35 @@ void SinrInterferenceModel::resolve(
   SINRCOLOR_DCHECK(deliveries.size() == graph_.size());
   if (transmissions.empty()) return;
 
+  if (options_.kind == sinr::ResolveKind::kNaive) {
+    resolve_naive(transmissions, listening, deliveries);
+    return;
+  }
+
+  std::vector<sinr::Transmitter> txs;
+  txs.reserve(transmissions.size());
+  for (const auto& t : transmissions) {
+    txs.push_back({graph_.position(t.sender)});
+  }
+  engine_.resolve_slot(
+      params_, txs, graph_.index(), graph_.deployment().points, listening,
+      graph_.radius(),
+      [](graph::NodeId /*listener*/) { return sinr::UnitGain{}; }, pool_.get(),
+      decodes_);
+  for (const auto& d : decodes_) {
+    SINRCOLOR_CHECK_MSG(!deliveries[d.listener].has_value(),
+                        "beta >= 1 forbids two decodable senders");
+    deliveries[d.listener] = transmissions[d.tx].message;
+    if (margin_histogram_ != nullptr) {
+      margin_histogram_->record(d.margin);
+    }
+  }
+}
+
+void SinrInterferenceModel::resolve_naive(
+    const std::vector<TxRecord>& transmissions,
+    const std::vector<bool>& listening,
+    std::vector<std::optional<Message>>& deliveries) const {
   std::vector<sinr::Transmitter> txs;
   txs.reserve(transmissions.size());
   for (const auto& t : transmissions) {
@@ -78,12 +125,14 @@ void GraphInterferenceModel::resolve(
 
 FadingSinrInterferenceModel::FadingSinrInterferenceModel(
     const graph::UnitDiskGraph& graph, sinr::SinrParams params,
-    sinr::FadingSpec fading)
-    : graph_(graph), params_(params), fading_(fading) {
+    sinr::FadingSpec fading, ResolveOptions options)
+    : graph_(graph),
+      params_(params),
+      fading_(fading),
+      options_(options),
+      pool_(make_pool(options)) {
   params_.validate();
-  const double mismatch = std::abs(graph_.radius() - params_.r_t());
-  SINRCOLOR_CHECK_MSG(mismatch <= 1e-9 * params_.r_t(),
-                      "UDG radius must equal the physical-layer R_T");
+  check_radius_matches_phys(graph_, params_);
 }
 
 void FadingSinrInterferenceModel::resolve(
@@ -94,7 +143,46 @@ void FadingSinrInterferenceModel::resolve(
   SINRCOLOR_DCHECK(deliveries.size() == graph_.size());
   if (transmissions.empty()) return;
 
-  const double r_t = graph_.radius();
+  if (options_.kind == sinr::ResolveKind::kNaive) {
+    resolve_naive(slot, transmissions, listening, deliveries);
+    return;
+  }
+
+  std::vector<sinr::Transmitter> txs;
+  txs.reserve(transmissions.size());
+  tx_ids_.clear();
+  tx_ids_.reserve(transmissions.size());
+  for (const auto& t : transmissions) {
+    txs.push_back({graph_.position(t.sender)});
+    tx_ids_.push_back(t.sender);
+  }
+  // Per-listener gain closure: every transmitter's contribution to F(u) is
+  // scaled by its (seed, slot, link)-keyed fade, signal and interference
+  // alike — identical arithmetic to the naive per-pair loop.
+  engine_.resolve_slot(
+      params_, txs, graph_.index(), graph_.deployment().points, listening,
+      graph_.radius(),
+      [this, slot](graph::NodeId listener) {
+        return [this, slot, listener](std::size_t j) {
+          return sinr::fade_factor(fading_, slot, listener, tx_ids_[j]);
+        };
+      },
+      pool_.get(), decodes_);
+  for (const auto& d : decodes_) {
+    SINRCOLOR_CHECK_MSG(!deliveries[d.listener].has_value(),
+                        "beta >= 1 forbids two decodable senders");
+    deliveries[d.listener] = transmissions[d.tx].message;
+    if (margin_histogram_ != nullptr) {
+      margin_histogram_->record(d.margin);
+    }
+  }
+}
+
+void FadingSinrInterferenceModel::resolve_naive(
+    Slot slot, const std::vector<TxRecord>& transmissions,
+    const std::vector<bool>& listening,
+    std::vector<std::optional<Message>>& deliveries) const {
+  // The δ ≤ R_T gate is implied by iterating UDG neighborhoods.
   for (std::size_t i = 0; i < transmissions.size(); ++i) {
     const auto sender = transmissions[i].sender;
     for (graph::NodeId u : graph_.neighbors(sender)) {
@@ -116,7 +204,6 @@ void FadingSinrInterferenceModel::resolve(
           interference += power;
         }
       }
-      (void)r_t;  // the δ ≤ R_T gate is implied by iterating UDG neighbors
       const double threshold = params_.beta * (params_.noise + interference);
       if (signal >= threshold) {
         SINRCOLOR_CHECK_MSG(!deliveries[u].has_value(),

@@ -6,19 +6,44 @@
 //   algorithm assumes: u decodes iff exactly one UDG-neighbor transmits.
 //
 // Both honour half-duplex: only nodes in `listening` can receive.
+//
+// The SINR media run one of two resolve paths (ResolveOptions::kind):
+//   kField — the shared interference-field engine (sinr/field_engine.h):
+//            F(u) is summed once per covered listener, every candidate
+//            resolves in O(1) against F − signal, and listeners shard over a
+//            deterministic common::TaskPool (ResolveOptions::threads).
+//   kNaive — the original per-(sender, listener) loops, kept as the A/B
+//            oracle; deliveries must match the field path exactly
+//            (tests/field_equivalence_test.cpp).
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/task_pool.h"
 #include "graph/unit_disk_graph.h"
 #include "obs/metrics.h"
 #include "radio/message.h"
 #include "sinr/fading.h"
+#include "sinr/field_engine.h"
 #include "sinr/params.h"
 
 namespace sinrcolor::radio {
+
+/// How a SINR medium resolves receptions. Defaults run the field fast path
+/// single-threaded; `threads` > 1 shards covered listeners over a
+/// deterministic pool (byte-identical results for any count).
+struct ResolveOptions {
+  sinr::ResolveKind kind = sinr::ResolveKind::kField;
+  std::size_t threads = 1;
+};
+
+/// Asserts that the UDG is the reachability graph of the physical layer:
+/// `graph.radius()` must equal `params.r_t()` (within 1e-9 relative). Every
+/// SINR medium and the MAC executors share this constructor-time contract.
+void check_radius_matches_phys(const graph::UnitDiskGraph& graph,
+                               const sinr::SinrParams& params);
 
 class InterferenceModel {
  public:
@@ -35,8 +60,9 @@ class InterferenceModel {
   virtual const char* name() const = 0;
 
   /// Attaches a histogram that receives the SINR margin (achieved SINR
-  /// divided by β) of every successful decode. Models without a physical
-  /// layer (GraphInterferenceModel) record nothing. Null detaches.
+  /// divided by β) of every successful decode, in both SINR media (plain and
+  /// fading) and under both resolve paths. Models without a physical layer
+  /// (GraphInterferenceModel) record nothing. Null detaches.
   void set_margin_histogram(obs::Histogram* histogram) {
     margin_histogram_ = histogram;
   }
@@ -49,7 +75,8 @@ class SinrInterferenceModel final : public InterferenceModel {
  public:
   /// `graph.radius()` must equal `params.r_t()` (the UDG is the reachability
   /// graph of the physical layer); checked at construction.
-  SinrInterferenceModel(const graph::UnitDiskGraph& graph, sinr::SinrParams params);
+  SinrInterferenceModel(const graph::UnitDiskGraph& graph,
+                        sinr::SinrParams params, ResolveOptions options = {});
 
   void resolve(Slot slot, const std::vector<TxRecord>& transmissions,
                const std::vector<bool>& listening,
@@ -57,10 +84,19 @@ class SinrInterferenceModel final : public InterferenceModel {
 
   const char* name() const override { return "sinr"; }
   const sinr::SinrParams& params() const { return params_; }
+  const ResolveOptions& options() const { return options_; }
 
  private:
+  void resolve_naive(const std::vector<TxRecord>& transmissions,
+                     const std::vector<bool>& listening,
+                     std::vector<std::optional<Message>>& deliveries) const;
+
   const graph::UnitDiskGraph& graph_;
   sinr::SinrParams params_;
+  ResolveOptions options_;
+  std::unique_ptr<common::TaskPool> pool_;
+  mutable sinr::FieldEngine engine_;
+  mutable std::vector<sinr::FieldEngine::Decode> decodes_;
 };
 
 /// SINR medium with stochastic per-link fading (sinr/fading.h): the received
@@ -70,7 +106,8 @@ class SinrInterferenceModel final : public InterferenceModel {
 class FadingSinrInterferenceModel final : public InterferenceModel {
  public:
   FadingSinrInterferenceModel(const graph::UnitDiskGraph& graph,
-                              sinr::SinrParams params, sinr::FadingSpec fading);
+                              sinr::SinrParams params, sinr::FadingSpec fading,
+                              ResolveOptions options = {});
 
   void resolve(Slot slot, const std::vector<TxRecord>& transmissions,
                const std::vector<bool>& listening,
@@ -78,11 +115,21 @@ class FadingSinrInterferenceModel final : public InterferenceModel {
 
   const char* name() const override { return "sinr+fading"; }
   const sinr::FadingSpec& fading() const { return fading_; }
+  const ResolveOptions& options() const { return options_; }
 
  private:
+  void resolve_naive(Slot slot, const std::vector<TxRecord>& transmissions,
+                     const std::vector<bool>& listening,
+                     std::vector<std::optional<Message>>& deliveries) const;
+
   const graph::UnitDiskGraph& graph_;
   sinr::SinrParams params_;
   sinr::FadingSpec fading_;
+  ResolveOptions options_;
+  std::unique_ptr<common::TaskPool> pool_;
+  mutable sinr::FieldEngine engine_;
+  mutable std::vector<sinr::FieldEngine::Decode> decodes_;
+  mutable std::vector<graph::NodeId> tx_ids_;
 };
 
 class GraphInterferenceModel final : public InterferenceModel {

@@ -1,0 +1,27 @@
+#include "sinr/field_engine.h"
+
+namespace sinrcolor::sinr {
+
+const char* to_string(ResolveKind kind) {
+  switch (kind) {
+    case ResolveKind::kNaive:
+      return "naive";
+    case ResolveKind::kField:
+      return "field";
+  }
+  return "?";
+}
+
+bool resolve_kind_from_string(const std::string& name, ResolveKind& out) {
+  if (name == "naive") {
+    out = ResolveKind::kNaive;
+    return true;
+  }
+  if (name == "field") {
+    out = ResolveKind::kField;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sinrcolor::sinr

@@ -1,0 +1,238 @@
+// The shared interference-field engine — the fast path behind every SINR
+// resolve (the radio media and sinr::resolve_reception).
+//
+// Naive resolution asks, per (sender, listener) pair, for the full
+// interference sum at the listener: O(T²·Δ) per slot for T transmitters.
+// But the SINR denominator depends only on the TOTAL received field
+//
+//     F(u) = Σ_j  P·g(u,j) / δ(u, t_j)^α
+//
+// which is independent of which sender is being decoded: sender i achieves
+//
+//     SINR_i(u) = s_i(u) / (N + F(u) − s_i(u)),  s_i(u) = P·g(u,i)/δ(u,t_i)^α,
+//
+// so one O(T) pass per covered listener replaces one O(T) pass per
+// (sender, listener) pair — O(T·coverage) per slot. This is the same
+// structure Lemma 3 exploits analytically: far transmitters contribute a
+// globally bounded total to F(u) and never need to be enumerated per sender.
+//
+// Determinism: F(u) is accumulated with Kahan compensation in ascending
+// transmitter order, so it is a pure function of (params, listener,
+// transmitter sequence) — independent of thread count, shard boundaries and
+// attached observation sinks. Batch resolves shard the sorted covered-
+// listener list into contiguous ranges over a common::TaskPool and merge
+// per-shard results in shard order, so 1-thread and N-thread runs are
+// byte-identical (tests/determinism_test.cpp). The naive per-pair loops are
+// kept as A/B oracles (ResolveKind::kNaive); the equivalence suite
+// (tests/field_equivalence_test.cpp) holds the two paths to identical
+// deliveries.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/task_pool.h"
+#include "geometry/grid_index.h"
+#include "geometry/point.h"
+#include "sinr/medium_field.h"
+#include "sinr/params.h"
+
+namespace sinrcolor::sinr {
+
+/// Which reception-resolution path a medium runs.
+enum class ResolveKind : std::uint8_t {
+  kNaive,  ///< per-(sender, listener) interference sums — the reference oracle
+  kField,  ///< shared per-listener field F(u), resolved per candidate in O(1)
+};
+
+const char* to_string(ResolveKind kind);
+/// Parses "naive" / "field"; returns false (leaving `out` untouched) otherwise.
+bool resolve_kind_from_string(const std::string& name, ResolveKind& out);
+
+/// Kahan-compensated summation: the error of each add is carried into the
+/// next one, keeping the total's error O(ε) instead of O(T·ε) over T terms.
+/// Order-sensitive like any float sum — callers must fix the add order.
+class KahanSum {
+ public:
+  void add(double x) {
+    const double y = x - carry_;
+    const double t = sum_ + y;
+    carry_ = (t - sum_) - y;
+    sum_ = t;
+  }
+  double total() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double carry_ = 0.0;
+};
+
+/// Gain functor for the non-fading media: every link has unit power gain.
+/// (P · 1.0 is bitwise P, so the field path matches the naive path's
+/// per-term arithmetic exactly.)
+struct UnitGain {
+  double operator()(std::size_t /*tx*/) const { return 1.0; }
+};
+
+/// A transmitter within decoding range of the listener under evaluation.
+struct FieldCandidate {
+  std::uint32_t tx;  ///< index into the transmitter span
+  double signal;     ///< its received power at the listener
+};
+
+/// One listener's field evaluation: returns the Kahan-compensated total
+/// F = Σ_j P·gain(j)/δ^α over ALL transmitters (ascending j) and fills
+/// `candidates` with the transmitters within `candidate_radius` (the δ ≤ R_T
+/// gate) and their signal powers. Aborts if a transmitter coincides with
+/// `at`, mirroring interference_at.
+template <typename GainFn>
+double field_at(const SinrParams& params, const geometry::Point& at,
+                std::span<const Transmitter> txs, double candidate_radius,
+                GainFn&& gain, std::vector<FieldCandidate>& candidates) {
+  const double r_sq = candidate_radius * candidate_radius;
+  KahanSum field;
+  candidates.clear();
+  for (std::size_t j = 0; j < txs.size(); ++j) {
+    const double d_sq = geometry::distance_sq(at, txs[j].position);
+    SINRCOLOR_CHECK_MSG(d_sq > 0.0, "transmitter coincides with listener");
+    const double power =
+        params.power * gain(j) / pow_alpha_from_sq(d_sq, params.alpha);
+    field.add(power);
+    if (d_sq <= r_sq) {
+      candidates.push_back({static_cast<std::uint32_t>(j), power});
+    }
+  }
+  return field.total();
+}
+
+/// The unique candidate (if any) whose signal clears the SINR threshold
+/// against the shared field: signal ≥ β·(N + F − signal). With β ≥ 1 at most
+/// one candidate can carry more than half the received power; asserted.
+/// Returns the winning transmitter index; writes the decode margin
+/// (achieved SINR over β) through `margin` when non-null.
+inline std::optional<std::size_t> resolve_from_field(
+    const SinrParams& params, double field,
+    std::span<const FieldCandidate> candidates, double* margin = nullptr) {
+  std::optional<std::size_t> winner;
+  for (const FieldCandidate& c : candidates) {
+    const double threshold =
+        params.beta * (params.noise + (field - c.signal));
+    if (c.signal >= threshold) {
+      SINRCOLOR_CHECK_MSG(!winner.has_value(),
+                          "beta >= 1 forbids two decodable senders");
+      winner = c.tx;
+      if (margin != nullptr) *margin = c.signal / threshold;
+    }
+  }
+  return winner;
+}
+
+/// Batch per-slot resolver with reusable scratch. Enumerates the listeners
+/// covered by any transmitter through the spatial index, evaluates F(u) once
+/// per covered listener, and reports every successful decode sorted by
+/// listener id. Listeners shard contiguously over `pool` (null or 1 thread
+/// ⇒ inline); per-listener work is independent and merged in shard order, so
+/// the output never depends on the thread count.
+class FieldEngine {
+ public:
+  struct Decode {
+    std::uint32_t listener;
+    std::uint32_t tx;    ///< index into the transmitter span
+    double margin;       ///< achieved SINR over β
+  };
+
+  /// `positions[u]` is listener u's location; `listening[u]` gates
+  /// eligibility (transmitting or asleep nodes are skipped). `index` must be
+  /// built over the same positions with the same ids. `gain_for(u)` returns
+  /// the per-transmitter gain functor for listener u (UnitGain factory for
+  /// the non-fading media). Results land in `decodes`, cleared first.
+  template <typename GainForListener>
+  void resolve_slot(const SinrParams& params, std::span<const Transmitter> txs,
+                    const geometry::GridIndex& index,
+                    std::span<const geometry::Point> positions,
+                    const std::vector<bool>& listening, double candidate_radius,
+                    GainForListener&& gain_for, common::TaskPool* pool,
+                    std::vector<Decode>& decodes) {
+    decodes.clear();
+    if (txs.empty()) return;
+    collect_covered(txs, index, listening, candidate_radius);
+
+    const std::size_t shard_count = std::max<std::size_t>(
+        1, std::min(pool != nullptr ? pool->thread_count() : 1,
+                    covered_.size()));
+    shards_.resize(std::max(shards_.size(), shard_count));
+    const auto run_shard = [&](std::size_t s) {
+      Shard& shard = shards_[s];
+      shard.decodes.clear();
+      const auto [begin, end] =
+          common::TaskPool::shard_range(covered_.size(), shard_count, s);
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::uint32_t u = covered_[k];
+        auto gain = gain_for(u);
+        const double field = field_at(params, positions[u], txs,
+                                      candidate_radius, gain,
+                                      shard.candidates);
+        double margin = 0.0;
+        const auto winner =
+            resolve_from_field(params, field, shard.candidates, &margin);
+        if (winner.has_value()) {
+          shard.decodes.push_back(
+              {u, static_cast<std::uint32_t>(*winner), margin});
+        }
+      }
+    };
+    if (shard_count == 1) {
+      run_shard(0);
+    } else {
+      pool->run_shards(shard_count, run_shard);
+    }
+    // Shards are contiguous ranges of the ascending covered list, so a
+    // shard-order merge yields listener-ascending decodes for ANY count.
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      decodes.insert(decodes.end(), shards_[s].decodes.begin(),
+                     shards_[s].decodes.end());
+    }
+  }
+
+ private:
+  void collect_covered(std::span<const Transmitter> txs,
+                       const geometry::GridIndex& index,
+                       const std::vector<bool>& listening,
+                       double candidate_radius) {
+    if (touched_.size() < listening.size()) touched_.resize(listening.size(), 0);
+    ++epoch_;
+    covered_.clear();
+    for (const Transmitter& t : txs) {
+      index.for_each_within(
+          t.position, candidate_radius,
+          [&](std::size_t u, const geometry::Point& p) {
+            // Half-duplex: the node at the transmitter's own position is the
+            // transmitter itself and cannot hear its own slot (the naive path
+            // excludes self by iterating UDG neighborhoods).
+            if (geometry::distance_sq(t.position, p) == 0.0) return;
+            if (!listening[u] || touched_[u] == epoch_) return;
+            touched_[u] = epoch_;
+            covered_.push_back(static_cast<std::uint32_t>(u));
+          });
+    }
+    std::sort(covered_.begin(), covered_.end());
+  }
+
+  struct Shard {
+    std::vector<FieldCandidate> candidates;
+    std::vector<Decode> decodes;
+  };
+
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> touched_;
+  std::vector<std::uint32_t> covered_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace sinrcolor::sinr

@@ -1,6 +1,7 @@
 #include "sinr/reception.h"
 
 #include "common/check.h"
+#include "sinr/field_engine.h"
 
 namespace sinrcolor::sinr {
 
@@ -14,6 +15,18 @@ bool decodes(const SinrParams& params, const geometry::Point& at,
 }
 
 std::optional<std::size_t> resolve_reception(
+    const SinrParams& params, const geometry::Point& at,
+    std::span<const Transmitter> transmitters) {
+  // Field fast path: one O(T) pass computes the total field plus every
+  // in-range candidate's signal; each candidate then resolves in O(1)
+  // against F − signal instead of re-summing the other T−1 transmitters.
+  std::vector<FieldCandidate> candidates;
+  const double field =
+      field_at(params, at, transmitters, params.r_t(), UnitGain{}, candidates);
+  return resolve_from_field(params, field, candidates);
+}
+
+std::optional<std::size_t> resolve_reception_naive(
     const SinrParams& params, const geometry::Point& at,
     std::span<const Transmitter> transmitters) {
   std::optional<std::size_t> winner;

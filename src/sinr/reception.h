@@ -24,7 +24,20 @@ bool decodes(const SinrParams& params, const geometry::Point& at,
 /// Checks only candidates within R_T (others cannot pass the range gate).
 /// With β ≥ 1 at most one transmitter can satisfy the SINR condition at a
 /// given listener; this invariant is asserted.
+///
+/// Runs the interference-field fast path (sinr/field_engine.h): the total
+/// received field is summed ONCE with Kahan compensation and each in-range
+/// candidate resolves against F − signal in O(1), i.e. O(T) per call instead
+/// of the naive O(T · candidates).
 std::optional<std::size_t> resolve_reception(
+    const SinrParams& params, const geometry::Point& at,
+    std::span<const Transmitter> transmitters);
+
+/// Reference oracle for resolve_reception: the original per-candidate loop
+/// that re-sums interference excluding the candidate. Kept for the A/B
+/// equivalence suite and the micro-benchmarks; both paths must produce the
+/// same winner (tests/field_equivalence_test.cpp).
+std::optional<std::size_t> resolve_reception_naive(
     const SinrParams& params, const geometry::Point& at,
     std::span<const Transmitter> transmitters);
 

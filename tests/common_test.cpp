@@ -1,18 +1,85 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <fstream>
+#include <numeric>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/csv.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/task_pool.h"
 
 namespace sinrcolor::common {
 namespace {
+
+TEST(TaskPool, ShardRangesPartitionExactly) {
+  // Every (total, shards) split must cover [0, total) contiguously with
+  // sizes differing by at most one — the contract the deterministic merge
+  // of sinr::FieldEngine rests on.
+  for (std::size_t total : {0u, 1u, 5u, 16u, 17u, 1000u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+      std::size_t expected_begin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [begin, end] = TaskPool::shard_range(total, shards, s);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(begin, end);
+        EXPECT_LE(end - begin, total / shards + 1);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, total);
+    }
+  }
+}
+
+TEST(TaskPool, RunsEveryShardExactlyOnce) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(23);
+  pool.run_shards(hits.size(), [&](std::size_t s) { ++hits[s]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, SingleThreadRunsInline) {
+  TaskPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<int> hits(9, 0);  // no data race possible: everything inline
+  pool.run_shards(hits.size(), [&](std::size_t s) { ++hits[s]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(TaskPool, ReusableAcrossJobs) {
+  TaskPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.run_shards(8, [&](std::size_t s) { sum += s; });
+  }
+  EXPECT_EQ(sum.load(), 50u * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(TaskPool, ShardedSumMatchesSerialSum) {
+  // The canonical use: partition an array into contiguous shards, combine
+  // per-shard results in shard order — the total must be exactly the serial
+  // one (each element touched once, no overlap).
+  std::vector<std::uint64_t> data(10007);
+  std::iota(data.begin(), data.end(), 1);
+  const std::uint64_t serial =
+      std::accumulate(data.begin(), data.end(), std::uint64_t{0});
+  TaskPool pool(4);
+  const std::size_t shards = 4;
+  std::vector<std::uint64_t> partial(shards, 0);
+  pool.run_shards(shards, [&](std::size_t s) {
+    const auto [begin, end] = TaskPool::shard_range(data.size(), shards, s);
+    for (std::size_t i = begin; i < end; ++i) partial[s] += data[i];
+  });
+  EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), std::uint64_t{0}),
+            serial);
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(12345), b(12345);

@@ -135,6 +135,41 @@ TEST(Determinism, ObservedReportIsByteStable) {
   EXPECT_EQ(observed_run(), observed_run());
 }
 
+TEST(Determinism, ThreadCountDoesNotChangeTheReport) {
+  // The field resolver shards covered listeners over a TaskPool; shards are
+  // fixed contiguous ranges merged in shard order, so the worker count must
+  // never reach the results — 1-thread and 4-thread reports byte-identical.
+  const auto g = scenario_graph(85);
+  core::MwRunConfig cfg;
+  cfg.seed = 313;
+  cfg.resolve = sinr::ResolveKind::kField;
+  cfg.threads = 1;
+  const std::string serial = core::to_json(core::run_mw_coloring(g, cfg));
+  cfg.threads = 4;
+  const std::string threaded = core::to_json(core::run_mw_coloring(g, cfg));
+  EXPECT_EQ(serial, threaded);
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeTheObservedReport) {
+  // Stronger: include the observability section. The SINR margin histogram
+  // is record-order-sensitive (its sum is a running float accumulation), so
+  // this locks down the post-merge listener-ascending recording order too.
+  const auto g = scenario_graph(86);
+  core::MwRunConfig cfg;
+  cfg.seed = 626;
+  cfg.resolve = sinr::ResolveKind::kField;
+  const auto observed_run = [&](std::size_t threads) {
+    cfg.threads = threads;
+    obs::RunObservation observation(std::size_t{1} << 20);
+    core::MwInstance instance(g, cfg);
+    instance.attach_observation(&observation);
+    const auto result = instance.run();
+    return core::to_json(result, observation, true);
+  };
+  EXPECT_EQ(observed_run(1), observed_run(4));
+}
+
 TEST(Determinism, DifferentSeedsProduceDifferentTraffic) {
   // Sanity counterpart: the byte-stability above is not vacuous (the report
   // does depend on the seed).

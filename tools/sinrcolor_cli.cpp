@@ -3,12 +3,14 @@
 //   sinrcolor_cli params   [--n=..] [--delta=..] [--alpha=..] [--beta=..]
 //                          [--rho=..] [--profile=practical|theory]
 //   sinrcolor_cli color    [--n=..] [--side=..] [--seed=..] [--deployment=..]
-//                          [--wakeup=sync|uniform] [--json=out.json] [--quiet]
+//                          [--wakeup=sync|uniform] [--resolve=field|naive]
+//                          [--threads=..] [--json=out.json] [--quiet]
 //   sinrcolor_cli mac      [--n=..] [--side=..] [--seed=..]
 //   sinrcolor_cli simulate [--n=..] [--side=..] [--seed=..] [--algorithm=..]
 //   sinrcolor_cli recover  [--n=..] [--side=..] [--seed=..] [--deployment=..]
 //                          [--fail-fraction=..] [--fail-window=..]
 //                          [--join-fraction=..] [--join-at=..] [--join-window=..]
+//                          [--resolve=field|naive] [--threads=..]
 //                          [--json=out.json] [--quiet]
 //   sinrcolor_cli trace record   [--scenario=color|recover] [graph flags]
 //                                [--out=trace.jsonl] [--chrome=trace.json]
@@ -92,6 +94,24 @@ sinr::SinrParams phys_for(const graph::UnitDiskGraph& g) {
   return p;
 }
 
+// --resolve=field|naive picks the SINR reception path (field is the fast
+// default; naive is the A/B oracle — docs/PERFORMANCE.md), --threads=N the
+// worker count of the field path. Every value is byte-identical.
+void apply_resolve_flags(const common::Cli& cli, core::MwRunConfig& cfg) {
+  const std::string resolve = cli.get("resolve", "field");
+  if (!sinr::resolve_kind_from_string(resolve, cfg.resolve)) {
+    std::fprintf(stderr, "unknown --resolve=%s (field|naive)\n",
+                 resolve.c_str());
+    std::exit(2);
+  }
+  const std::int64_t threads = cli.get_int("threads", 1);
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    std::exit(2);
+  }
+  cfg.threads = static_cast<std::size_t>(threads);
+}
+
 int cmd_params(const common::Cli& cli) {
   core::MwConfig cfg;
   cfg.n = static_cast<std::size_t>(cli.get_int("n", 256));
@@ -141,6 +161,7 @@ int cmd_color(const common::Cli& cli) {
     cfg.wakeup = core::WakeupKind::kUniform;
     cfg.wakeup_window = cli.get_int("wakeup-window", 2000);
   }
+  apply_resolve_flags(cli, cfg);
   const std::string json_path = cli.get("json", "");
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
@@ -230,6 +251,7 @@ int cmd_recover(const common::Cli& cli) {
   cfg.recovery.join_fraction = cli.get_double("join-fraction", 0.0);
   cfg.recovery.join_at = cli.get_int("join-at", 0);
   cfg.recovery.join_window = cli.get_int("join-window", 0);
+  apply_resolve_flags(cli, cfg);
   const std::string json_path = cli.get("json", "");
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
@@ -268,6 +290,7 @@ int trace_record(const common::Cli& cli) {
   cfg.recovery.join_fraction = cli.get_double("join-fraction", 0.0);
   cfg.recovery.join_at = cli.get_int("join-at", 0);
   cfg.recovery.join_window = cli.get_int("join-window", 0);
+  apply_resolve_flags(cli, cfg);
   const std::string scenario = cli.get("scenario", "color");
   const std::string out_path = cli.get("out", "trace.jsonl");
   const std::string chrome_path = cli.get("chrome", "");
