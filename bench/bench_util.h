@@ -20,8 +20,10 @@
 #include "common/cli.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "common/sweep.h"
 #include "core/mw_protocol.h"
 #include "geometry/deployment.h"
+#include "graph/topology_cache.h"
 #include "graph/unit_disk_graph.h"
 #include "obs/observation.h"
 #include "sinr/field_engine.h"
@@ -46,6 +48,38 @@ inline graph::UnitDiskGraph uniform_graph_with_density(std::size_t n,
       std::sqrt(static_cast<double>(n) * M_PI / avg_degree);
   common::Rng rng(seed);
   return {geometry::uniform_deployment(n, side, rng), 1.0};
+}
+
+/// Cache-backed variant of uniform_graph_with_density: the topology for a
+/// given (n, avg_degree, seed) is built once per process and shared
+/// read-only across every trial and configuration that asks for it again
+/// (graph::global_topology_cache()). Byte-identical to the uncached builder.
+inline std::shared_ptr<const graph::UnitDiskGraph>
+shared_uniform_graph_with_density(std::size_t n, double avg_degree,
+                                  std::uint64_t seed) {
+  const double side = std::sqrt(static_cast<double>(n) * M_PI / avg_degree);
+  graph::TopologyKey key;
+  key.kind = "uniform-density";
+  key.n = n;
+  key.side = side;
+  key.radius = 1.0;
+  key.seed = seed;
+  key.param1 = avg_degree;
+  return graph::global_topology_cache().get_or_build(
+      key, [&] { return uniform_graph_with_density(n, avg_degree, seed); });
+}
+
+/// Parses `--sweep-threads=N` (default 1): how many trials the harness runs
+/// concurrently through common::SweepEngine. Results are byte-identical for
+/// every value; only wall time changes. Distinct from `--threads`, which is
+/// the per-run resolve worker count.
+inline std::size_t sweep_threads(const common::Cli& cli) {
+  const auto threads = cli.get_int("sweep-threads", 1);
+  if (threads < 1) {
+    std::printf("--sweep-threads must be >= 1\n");
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(threads);
 }
 
 inline void print_experiment_header(const char* id, const char* claim) {
@@ -113,8 +147,21 @@ class MetricsSidecar {
 
   obs::RunObservation* observation() { return observation_.get(); }
 
-  /// Writes {experiment, trace totals, metrics registry}; no-op when the
-  /// flag was absent. Returns false on I/O failure (after printing).
+  /// Accumulates a sweep's per-trial wall times into the sidecar; write()
+  /// then reports trial count, mean, p50 and p95 (in microseconds). Wall
+  /// time lives ONLY here and on stdout — never in the byte-compared CSV/
+  /// JSON result artifacts. No-op when the sidecar is off.
+  void record_trials(const common::SweepTiming& timing) {
+    if (observation_ == nullptr) return;
+    trial_timing_.trial_us.insert(trial_timing_.trial_us.end(),
+                                  timing.trial_us.begin(),
+                                  timing.trial_us.end());
+    trial_timing_.total_us += timing.total_us;
+  }
+
+  /// Writes {experiment, trace totals, per-trial timing, metrics registry};
+  /// no-op when the flag was absent. Returns false on I/O failure (after
+  /// printing).
   bool write(const char* experiment_id) const {
     if (observation_ == nullptr) return true;
     common::JsonWriter json;
@@ -125,6 +172,17 @@ class MetricsSidecar {
     json.field("recorded", observation_->trace.recorded());
     json.field("dropped", observation_->trace.dropped());
     json.end_object();
+    if (!trial_timing_.trial_us.empty()) {
+      json.key("trials");
+      json.begin_object();
+      json.field("count", trial_timing_.trial_us.size());
+      json.field("total_us", trial_timing_.total_us);
+      json.field("mean_us", trial_timing_.mean_us());
+      json.field("p50_us", trial_timing_.p50_us());
+      json.field("p95_us", trial_timing_.p95_us());
+      json.field("max_us", trial_timing_.max_us());
+      json.end_object();
+    }
     json.key("metrics");
     observation_->metrics.write_json(json);
     json.end_object();
@@ -141,6 +199,7 @@ class MetricsSidecar {
  private:
   std::string path_;
   std::unique_ptr<obs::RunObservation> observation_;
+  common::SweepTiming trial_timing_;
 };
 
 }  // namespace sinrcolor::bench

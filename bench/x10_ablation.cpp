@@ -7,11 +7,18 @@
 //   (3) σ > 2γ (threshold vs window): threshold inside the reset window ⇒
 //       Case 2 of Theorem 1's proof fails.
 // The defaults (first row) must be clean; each ablation should degrade.
+//
+// All four configurations run over the SAME topologies: trial s of every
+// configuration shares one cache-built graph (graph::TopologyCache), so the
+// ablation comparison is paired by construction and each topology is built
+// once instead of four times. Trials run through common::SweepEngine
+// (`--sweep-threads=N`); results are byte-identical for every thread count.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "common/cli.h"
+#include "common/sweep.h"
 #include "common/table.h"
 #include "core/mw_params.h"
 #include "core/mw_protocol.h"
@@ -20,7 +27,9 @@ int main(int argc, char** argv) {
   using namespace sinrcolor;
   const common::Cli cli(argc, argv);
   const auto n = static_cast<std::size_t>(cli.get_int("n", 300));
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 4));
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 4));
+  const auto base_seed = cli.get_seed("seed", 10);
+  const std::size_t threads = bench::sweep_threads(cli);
   cli.reject_unknown();
 
   bench::print_experiment_header(
@@ -37,25 +46,43 @@ int main(int argc, char** argv) {
     double latency = 0.0;
   };
 
-  auto run_with = [&](auto mutate) {
-    Outcome outcome;
-    for (std::uint64_t s = 0; s < seeds; ++s) {
-      const auto g = bench::uniform_graph_with_density(n, 16.0, 21000 + s);
-      core::MwConfig mw;
-      mw.n = g.size();
-      mw.max_degree = std::max<std::size_t>(g.max_degree(), 1);
-      mw.phys = bench::phys_for_radius(g.radius());
-      auto params = core::MwParams::practical(mw);
-      mutate(params);
+  struct TrialOutcome {
+    std::size_t violations = 0;
+    bool invalid = false;
+    double slots = 0.0;
+  };
 
-      core::MwRunConfig cfg;
-      cfg.seed = 41000 + s;
-      cfg.params_override = params;
-      const auto r = core::run_mw_coloring(g, cfg);
-      outcome.violations += r.independence_violations;
-      outcome.invalid += (r.coloring_valid && r.metrics.all_decided) ? 0 : 1;
-      outcome.latency += static_cast<double>(r.metrics.slots_executed) /
-                         static_cast<double>(seeds);
+  common::SweepEngine engine(threads);
+
+  auto run_with = [&](auto mutate) {
+    const auto results = engine.run(
+        seeds, base_seed, [&](const common::TrialContext& ctx) {
+          // Same ctx.seed for trial s across all four configurations ⇒ same
+          // cache key ⇒ one shared graph per trial, paired ablations.
+          const auto g = bench::shared_uniform_graph_with_density(
+              n, 16.0, common::derive_seed(ctx.seed, 0x67));
+          core::MwConfig mw;
+          mw.n = g->size();
+          mw.max_degree = std::max<std::size_t>(g->max_degree(), 1);
+          mw.phys = bench::phys_for_radius(g->radius());
+          auto params = core::MwParams::practical(mw);
+          mutate(params);
+
+          core::MwRunConfig cfg;
+          cfg.seed = common::derive_seed(ctx.seed, 0x70);  // 'p' — protocol
+          cfg.params_override = params;
+          const auto r = core::run_mw_coloring(*g, cfg);
+          TrialOutcome out;
+          out.violations = r.independence_violations;
+          out.invalid = !(r.coloring_valid && r.metrics.all_decided);
+          out.slots = static_cast<double>(r.metrics.slots_executed);
+          return out;
+        });
+    Outcome outcome;
+    for (const TrialOutcome& t : results) {
+      outcome.violations += t.violations;
+      outcome.invalid += t.invalid ? 1 : 0;
+      outcome.latency += t.slots / static_cast<double>(seeds);
     }
     return outcome;
   };
@@ -94,6 +121,10 @@ int main(int argc, char** argv) {
           "expect violations");
 
   table.print(std::cout);
+  std::printf("topology cache: %zu graphs built, %llu shared reuses\n",
+              graph::global_topology_cache().size(),
+              static_cast<unsigned long long>(
+                  graph::global_topology_cache().hits()));
 
   const bool clean_default =
       baseline_run.violations == 0 && baseline_run.invalid == 0;

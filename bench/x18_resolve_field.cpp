@@ -6,6 +6,13 @@
 // through both paths, verifies delivery equality slot by slot, then times
 // each path over the same workload and reports the speedup. FAIL if any
 // delivery differs or the field path is slower.
+//
+// The timing reps run through common::SweepEngine (`--sweep-threads=N`,
+// per-rep p50/p95 in the sidecar): each rep owns its model instances (their
+// resolve scratch is reusable but not shareable) while the topology comes
+// from the shared cache. The rep loop also audits the zero-allocation
+// contract: after the first slot sizes the scratch, resolves allocate
+// nothing.
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -13,8 +20,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/alloc_counter.h"
 #include "common/cli.h"
 #include "common/rng.h"
+#include "common/sweep.h"
 #include "common/table.h"
 #include "radio/interference_model.h"
 
@@ -28,6 +37,7 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
   const auto seed = cli.get_seed("seed", 1);
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 1));
+  const std::size_t sweep_threads = bench::sweep_threads(cli);
   bench::MetricsSidecar sidecar(cli);
   cli.reject_unknown();
 
@@ -36,12 +46,8 @@ int main(int argc, char** argv) {
       "engineering — the field path delivers identical messages and beats "
       "the per-pair naive path in wall time at n=2000, Delta~64");
 
-  const auto g = bench::uniform_graph_with_density(n, avg, seed);
-  const auto phys = bench::phys_for_radius(g.radius());
-  const radio::SinrInterferenceModel naive(
-      g, phys, {sinr::ResolveKind::kNaive, 1});
-  const radio::SinrInterferenceModel field(
-      g, phys, {sinr::ResolveKind::kField, threads});
+  const auto g = bench::shared_uniform_graph_with_density(n, avg, seed);
+  const auto phys = bench::phys_for_radius(g->radius());
 
   // Pre-draw every slot's transmitter set so both paths replay the exact
   // same workload (transmitters never listen — half-duplex).
@@ -60,27 +66,47 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto run_path = [&](const radio::SinrInterferenceModel& model,
-                            std::vector<std::vector<std::optional<
-                                radio::Message>>>* capture) -> std::uint64_t {
+  // One timed pass over the replayed workload with a fresh model (`kind`,
+  // resolve thread count as configured). Returns the allocations the resolve
+  // loop performed after its first slot — the steady-state number, which the
+  // scratch reserves must hold at zero.
+  struct PassResult {
+    std::uint64_t steady_allocs = 0;
+  };
+  const auto timed_pass = [&](sinr::ResolveKind kind) -> PassResult {
+    const radio::SinrInterferenceModel model(
+        *g, phys,
+        {kind, kind == sinr::ResolveKind::kField ? threads : 1});
     std::vector<std::optional<radio::Message>> deliveries(n);
-    const bench::WallTimer timer;
-    for (std::size_t rep = 0; rep < (capture != nullptr ? 1 : reps); ++rep) {
-      for (std::size_t t = 0; t < slots; ++t) {
-        std::fill(deliveries.begin(), deliveries.end(), std::nullopt);
-        model.resolve(static_cast<radio::Slot>(t), slot_txs[t],
-                      slot_listening[t], deliveries);
-        if (capture != nullptr) capture->push_back(deliveries);
-      }
+    PassResult out;
+    for (std::size_t t = 0; t < slots; ++t) {
+      std::fill(deliveries.begin(), deliveries.end(), std::nullopt);
+      const std::uint64_t before = common::thread_heap_allocs();
+      model.resolve(static_cast<radio::Slot>(t), slot_txs[t],
+                    slot_listening[t], deliveries);
+      if (t > 0) out.steady_allocs += common::thread_heap_allocs() - before;
     }
-    return timer.elapsed_us();
+    return out;
   };
 
   // Equality first: both paths must deliver the same (listener, sender)
   // pairs in every slot.
-  std::vector<std::vector<std::optional<radio::Message>>> got_naive, got_field;
-  run_path(naive, &got_naive);
-  run_path(field, &got_field);
+  const auto capture_pass = [&](sinr::ResolveKind kind) {
+    const radio::SinrInterferenceModel model(
+        *g, phys,
+        {kind, kind == sinr::ResolveKind::kField ? threads : 1});
+    std::vector<std::vector<std::optional<radio::Message>>> got;
+    std::vector<std::optional<radio::Message>> deliveries(n);
+    for (std::size_t t = 0; t < slots; ++t) {
+      std::fill(deliveries.begin(), deliveries.end(), std::nullopt);
+      model.resolve(static_cast<radio::Slot>(t), slot_txs[t],
+                    slot_listening[t], deliveries);
+      got.push_back(deliveries);
+    }
+    return got;
+  };
+  const auto got_naive = capture_pass(sinr::ResolveKind::kNaive);
+  const auto got_field = capture_pass(sinr::ResolveKind::kField);
   std::size_t deliveries_total = 0, mismatches = 0;
   for (std::size_t t = 0; t < slots; ++t) {
     for (std::size_t u = 0; u < n; ++u) {
@@ -94,38 +120,72 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Then timing over the identical replayed workload.
-  const std::uint64_t naive_us = run_path(naive, nullptr);
-  const std::uint64_t field_us = run_path(field, nullptr);
+  // Then timing: `reps` independent passes per path through the sweep
+  // engine. Per-rep wall times feed the sidecar's p50/p95; the printed
+  // wall_us is the per-rep p50 (robust against a noisy neighbor rep).
+  common::SweepEngine engine(sweep_threads);
+  common::SweepTiming naive_t, field_t;
+  std::uint64_t naive_steady_allocs = 0, field_steady_allocs = 0;
+  {
+    const auto results = engine.run(
+        reps, common::derive_seed(seed, 0xA),
+        [&](const common::TrialContext&) {
+          return timed_pass(sinr::ResolveKind::kNaive);
+        },
+        &naive_t);
+    for (const PassResult& r : results) naive_steady_allocs += r.steady_allocs;
+  }
+  {
+    const auto results = engine.run(
+        reps, common::derive_seed(seed, 0xB),
+        [&](const common::TrialContext&) {
+          return timed_pass(sinr::ResolveKind::kField);
+        },
+        &field_t);
+    for (const PassResult& r : results) field_steady_allocs += r.steady_allocs;
+  }
+  sidecar.record_trials(naive_t);
+  sidecar.record_trials(field_t);
+  const std::uint64_t naive_us = naive_t.p50_us();
+  const std::uint64_t field_us = field_t.p50_us();
   const double speedup = field_us > 0
                              ? static_cast<double>(naive_us) /
                                    static_cast<double>(field_us)
                              : 0.0;
 
   common::Table table(
-      {"path", "threads", "slots", "wall_us", "us/slot", "deliveries"});
-  const auto total_slots = static_cast<double>(slots * reps);
+      {"path", "threads", "slots/rep", "p50_wall_us", "us/slot", "deliveries"});
+  const auto slots_d = static_cast<double>(slots);
   table.add_row({"naive", "1",
-                 common::Table::integer(static_cast<long long>(slots * reps)),
+                 common::Table::integer(static_cast<long long>(slots)),
                  common::Table::integer(static_cast<long long>(naive_us)),
-                 common::Table::num(static_cast<double>(naive_us) / total_slots,
-                                    1),
+                 common::Table::num(static_cast<double>(naive_us) / slots_d, 1),
                  common::Table::integer(
                      static_cast<long long>(deliveries_total))});
   table.add_row({"field", common::Table::integer(
                               static_cast<long long>(threads)),
-                 common::Table::integer(static_cast<long long>(slots * reps)),
+                 common::Table::integer(static_cast<long long>(slots)),
                  common::Table::integer(static_cast<long long>(field_us)),
-                 common::Table::num(static_cast<double>(field_us) / total_slots,
-                                    1),
+                 common::Table::num(static_cast<double>(field_us) / slots_d, 1),
                  common::Table::integer(
                      static_cast<long long>(deliveries_total))});
   table.print(std::cout);
-  std::printf("n=%zu Delta=%zu avg_deg=%.1f tx_prob=%.2f\n", g.size(),
-              g.max_degree(), g.average_degree(), tx_prob);
+  std::printf("n=%zu Delta=%zu avg_deg=%.1f tx_prob=%.2f reps=%zu "
+              "sweep_threads=%zu\n",
+              g->size(), g->max_degree(), g->average_degree(), tx_prob, reps,
+              sweep_threads);
   std::printf("delivery mismatches: %zu / %zu deliveries\n", mismatches,
               deliveries_total);
-  std::printf("speedup: %.2fx (field over naive)\n", speedup);
+  std::printf("speedup: %.2fx (field over naive, per-rep p50)\n", speedup);
+  const bool alloc_free =
+      !common::alloc_counting_enabled() ||
+      (naive_steady_allocs == 0 && field_steady_allocs == 0);
+  if (common::alloc_counting_enabled()) {
+    std::printf("steady-state resolve allocs: naive=%llu field=%llu (%s)\n",
+                static_cast<unsigned long long>(naive_steady_allocs),
+                static_cast<unsigned long long>(field_steady_allocs),
+                alloc_free ? "alloc-free after first slot" : "ALLOCATING");
+  }
 
   if (sidecar.observation() != nullptr) {
     auto& m = sidecar.observation()->metrics;
@@ -137,14 +197,19 @@ int main(int argc, char** argv) {
     m.counter("x18.mismatches").add(mismatches);
     m.counter("x18.threads").add(threads);
     m.counter("x18.n").add(n);
+    m.counter("x18.steady_allocs")
+        .add(naive_steady_allocs + field_steady_allocs);
   }
   sidecar.write("x18_resolve_field");
 
   const bool equal = mismatches == 0;
   const bool faster = field_us < naive_us;
   return bench::print_verdict(
-      equal && faster,
+      equal && faster && alloc_free,
       !equal ? "field path delivered different messages than naive"
-             : (faster ? "identical deliveries, field path faster"
-                       : "identical deliveries but field path is SLOWER"));
+             : (!faster ? "identical deliveries but field path is SLOWER"
+                        : (alloc_free
+                               ? "identical deliveries, field path faster, "
+                                 "steady-state alloc-free"
+                               : "resolve allocated in steady state")));
 }

@@ -1,0 +1,105 @@
+#include "common/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+// The counting operator new/delete replacements live in this translation
+// unit. Referencing thread_heap_allocs() (the simulator does) pulls the
+// object file out of the static library, and with it the replacements — no
+// separate registration step needed.
+
+namespace sinrcolor::common {
+
+#ifdef SINRCOLOR_COUNT_ALLOCS
+
+namespace {
+// Zero-initialized before any dynamic initialization runs, so counting is
+// correct even for allocations made during static init.
+thread_local std::uint64_t t_heap_allocs = 0;
+}  // namespace
+
+bool alloc_counting_enabled() { return true; }
+std::uint64_t thread_heap_allocs() { return t_heap_allocs; }
+
+namespace detail {
+inline void* counted_alloc(std::size_t size) {
+  ++t_heap_allocs;
+  // malloc(0) may return null legally; operator new must not.
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ++t_heap_allocs;
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : align) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace detail
+
+#else  // !SINRCOLOR_COUNT_ALLOCS
+
+bool alloc_counting_enabled() { return false; }
+std::uint64_t thread_heap_allocs() { return 0; }
+
+#endif
+
+}  // namespace sinrcolor::common
+
+#ifdef SINRCOLOR_COUNT_ALLOCS
+
+// Replaceable global allocation functions ([new.delete]): plain, array,
+// nothrow and aligned forms all route through the counters above. Every
+// delete form frees with std::free, which is valid for both malloc and
+// posix_memalign storage.
+
+void* operator new(std::size_t size) {
+  return sinrcolor::common::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return sinrcolor::common::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return sinrcolor::common::detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return sinrcolor::common::detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return sinrcolor::common::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return sinrcolor::common::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // SINRCOLOR_COUNT_ALLOCS

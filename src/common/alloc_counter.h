@@ -1,0 +1,31 @@
+// Thread-local heap-allocation counter behind the zero-allocation slot-loop
+// contract (docs/PERFORMANCE.md, "Zero-allocation slot loop").
+//
+// When the build replaces the global allocation functions
+// (SINRCOLOR_COUNT_ALLOCS, on by default, auto-disabled under the
+// sanitizers), every operator new on a thread bumps that thread's counter.
+// The simulator reads the counter at slot boundaries to attribute
+// allocations to slots: a steady-state slot must observe a delta of zero.
+// The counter is a plain thread_local increment — cheap enough to leave on
+// in release builds — and reading it never allocates, so instrumented and
+// uninstrumented runs execute identical protocol work (the counter can not
+// perturb results; it only observes).
+//
+// When the counting build is off, thread_heap_allocs() is constant 0 and
+// every derived metric reports "no allocations observed"; gate assertions on
+// alloc_counting_enabled().
+#pragma once
+
+#include <cstdint>
+
+namespace sinrcolor::common {
+
+/// True when this build counts heap allocations (SINRCOLOR_COUNT_ALLOCS).
+bool alloc_counting_enabled();
+
+/// Heap allocations performed by the CALLING thread since it started
+/// (monotone; 0 forever when the counting build is off). Read it before and
+/// after a region and subtract — deltas are immune to other threads.
+std::uint64_t thread_heap_allocs();
+
+}  // namespace sinrcolor::common

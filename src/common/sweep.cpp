@@ -1,0 +1,61 @@
+#include "common/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sinrcolor::common {
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index) {
+  // Domain tag "trial\0\0\0" separates sweep-level streams from the per-node
+  // streams derive_seed(seed, node_id) hands out inside each trial: even if a
+  // trial index collides numerically with a node id, the tagged base differs,
+  // so the two splitmix walks are unrelated.
+  constexpr std::uint64_t kTrialDomain = 0x0000006c61697274ULL;  // "trial"
+  return derive_seed(base_seed ^ kTrialDomain, trial_index);
+}
+
+std::uint64_t SweepTiming::sum_us() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t us : trial_us) sum += us;
+  return sum;
+}
+
+double SweepTiming::mean_us() const {
+  if (trial_us.empty()) return 0.0;
+  return static_cast<double>(sum_us()) / static_cast<double>(trial_us.size());
+}
+
+std::uint64_t SweepTiming::quantile_us(double q) const {
+  if (trial_us.empty()) return 0;
+  SINRCOLOR_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<std::uint64_t> sorted = trial_us;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::uint64_t SweepTiming::max_us() const {
+  if (trial_us.empty()) return 0;
+  return *std::max_element(trial_us.begin(), trial_us.end());
+}
+
+SweepEngine::SweepEngine(std::size_t threads)
+    : threads_(std::max<std::size_t>(threads, 1)) {
+  if (threads_ > 1) pool_ = std::make_unique<TaskPool>(threads_);
+}
+
+void SweepEngine::run_trials(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool_->run_shards(count, fn);
+}
+
+}  // namespace sinrcolor::common

@@ -21,6 +21,11 @@ const char* to_string(MwStateKind kind) {
 MwNode::MwNode(graph::NodeId id, const MwParams& params)
     : id_(id), params_(params) {}
 
+void MwNode::reserve_peers(std::size_t degree) {
+  competitors_.reserve(degree);
+  request_queue_.reserve(degree);
+}
+
 void MwNode::set_observation(obs::RunObservation* observation) {
   tracer_ = observation != nullptr ? &observation->trace : nullptr;
   obs_metrics_ = observation != nullptr ? &observation->metrics : nullptr;
@@ -168,7 +173,7 @@ std::optional<radio::Message> MwNode::begin_slot(radio::Slot slot,
 
 std::optional<radio::Message> MwNode::leader_slot(common::Rng& rng) {
   // Fig. 2 lines 5–14 (i = 0).
-  if (!serving_ && !request_queue_.empty()) {
+  if (!serving_ && request_head_ < request_queue_.size()) {
     ++next_cluster_color_;  // tc := tc + 1
     serving_ = true;
     serve_remaining_ = params_.assign_slots;
@@ -180,13 +185,18 @@ std::optional<radio::Message> MwNode::leader_slot(common::Rng& rng) {
       radio::Message m;
       m.kind = radio::MessageKind::kColorAssign;
       m.sender = id_;
-      m.target = request_queue_.front();
+      m.target = request_queue_[request_head_];
       m.color_class = 0;
       m.tc = next_cluster_color_;
       tx = m;
     }
     if (--serve_remaining_ == 0) {
-      request_queue_.pop_front();  // Fig. 2 line 14
+      ++request_head_;  // Fig. 2 line 14 (pop front)
+      if (request_head_ == request_queue_.size()) {
+        // Empty: rewind so the buffer's capacity is reused, not regrown.
+        request_queue_.clear();
+        request_head_ = 0;
+      }
       serving_ = false;
     }
     return tx;
@@ -262,9 +272,12 @@ void MwNode::on_receive(radio::Slot slot, const radio::Message& msg) {
     case MwStateKind::kLeader: {
       // Fig. 2 line 7.
       if (msg.kind == radio::MessageKind::kRequest && msg.target == id_) {
+        // Dedup over the live entries only — a node served and popped
+        // earlier may legitimately re-request.
         const bool queued =
-            std::find(request_queue_.begin(), request_queue_.end(),
-                      msg.sender) != request_queue_.end();
+            std::find(request_queue_.begin() +
+                          static_cast<std::ptrdiff_t>(request_head_),
+                      request_queue_.end(), msg.sender) != request_queue_.end();
         if (!queued) request_queue_.push_back(msg.sender);
       }
       return;
@@ -284,6 +297,7 @@ void MwNode::restart_election() {
                       "restart_election requires an awake, undecided node");
   leader_ = graph::kInvalidNode;
   request_queue_.clear();
+  request_head_ = 0;
   serving_ = false;
   enter_class(0);
 }

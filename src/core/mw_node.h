@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -77,6 +76,13 @@ class MwNode final : public radio::Protocol {
  public:
   /// `params` must outlive the node.
   MwNode(graph::NodeId id, const MwParams& params);
+
+  /// Pre-sizes the per-node containers (P_v, the request queue Q) to their
+  /// structural bound — both only ever hold UDG neighbors, so `degree`
+  /// capacity means the node never allocates again after setup, no matter
+  /// how late it wakes, resets or becomes a leader (the zero-allocation
+  /// slot-loop contract; see docs/PERFORMANCE.md).
+  void reserve_peers(std::size_t degree);
 
   // --- radio::Protocol ---
   void on_wake(radio::Slot slot) override;
@@ -165,9 +171,13 @@ class MwNode final : public radio::Protocol {
   graph::NodeId leader_ = graph::kInvalidNode;  ///< L(v)
   std::uint64_t resets_ = 0;
 
-  // Leader (C_0) bookkeeping.
-  std::deque<graph::NodeId> request_queue_;  ///< Q, front = currently served
-  std::int32_t next_cluster_color_ = 0;      ///< tc
+  // Leader (C_0) bookkeeping. Q is a vector + head index rather than a
+  // deque: a deque allocates and frees blocks as entries churn, while the
+  // vector's capacity plateaus at the cluster size and the steady-state slot
+  // loop stays allocation-free. Live entries are [request_head_, size).
+  std::vector<graph::NodeId> request_queue_;  ///< Q, [head] = currently served
+  std::size_t request_head_ = 0;
+  std::int32_t next_cluster_color_ = 0;  ///< tc
   bool serving_ = false;
   radio::Slot serve_remaining_ = 0;
 };

@@ -102,6 +102,7 @@ MwInstance::MwInstance(const graph::UnitDiskGraph& g, const MwRunConfig& config)
   nodes_.reserve(g.size());
   for (graph::NodeId v = 0; v < g.size(); ++v) {
     auto node = std::make_unique<MwNode>(v, params_);
+    node->reserve_peers(g.degree(v));
     nodes_.push_back(node.get());
     simulator_->set_protocol(v, std::move(node));
   }

@@ -1,0 +1,59 @@
+#include "graph/topology_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace sinrcolor::graph {
+
+std::shared_ptr<const UnitDiskGraph> TopologyCache::get_or_build(
+    const TopologyKey& key, const Builder& builder) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+      ++misses_;
+    } else {
+      ++hits_;
+    }
+    entry = it->second;
+  }
+  // The build runs outside the cache lock: a slow builder never blocks
+  // lookups of other keys, and exactly one caller per key executes it.
+  std::call_once(entry->built, [&] {
+    entry->graph = std::make_shared<const UnitDiskGraph>(builder());
+  });
+  SINRCOLOR_CHECK(entry->graph != nullptr);
+  return entry->graph;
+}
+
+std::size_t TopologyCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t TopologyCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t TopologyCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void TopologyCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+TopologyCache& global_topology_cache() {
+  static TopologyCache cache;
+  return cache;
+}
+
+}  // namespace sinrcolor::graph

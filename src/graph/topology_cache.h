@@ -1,0 +1,91 @@
+// Shared read-only topology cache for trial sweeps.
+//
+// Building a UnitDiskGraph (deployment generation + GridIndex + CSR
+// adjacency) is the dominant setup cost of a trial, yet ablation- and
+// comparison-style sweeps (x10's 4 configs, x16's adaptive variants, x9's
+// model comparison) run MANY protocol configurations over the SAME topology:
+// the graph is a pure function of (generator, n, area, radius, seed). The
+// cache builds each distinct topology exactly once and hands out
+// shared_ptr<const UnitDiskGraph> aliases, so trials that vary only protocol
+// knobs share one immutable graph — including across SweepEngine threads
+// (UnitDiskGraph is never mutated after construction; concurrent reads are
+// safe).
+//
+// Determinism: the cached graph is byte-for-byte the graph the builder
+// would produce fresh — get_or_build never alters the builder's RNG
+// consumption (the builder runs at most once per key, from its own seed),
+// so cached and uncached sweeps produce identical results
+// (tests/topology_cache_test.cpp pins this across the three SINR media).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/unit_disk_graph.h"
+
+namespace sinrcolor::graph {
+
+/// Identity of a topology: the full input of its (deterministic) builder.
+/// `kind` names the generator family ("uniform", "uniform-density", "grid",
+/// "clustered", ...); param1/param2 carry the family's extra knobs (average
+/// degree, jitter, spread, ...) — unused ones stay 0. Two keys compare equal
+/// iff the builder would produce identical graphs, so never reuse a kind
+/// string across generators with different semantics.
+struct TopologyKey {
+  std::string kind;
+  std::size_t n = 0;
+  double side = 0.0;
+  double radius = 1.0;
+  std::uint64_t seed = 0;
+  double param1 = 0.0;
+  double param2 = 0.0;
+
+  friend auto operator<=>(const TopologyKey&, const TopologyKey&) = default;
+};
+
+/// Thread-safe build-once cache. Distinct keys build concurrently; a key
+/// requested by several threads at once is built by exactly one of them
+/// (the rest block on that entry only, not on the whole cache).
+class TopologyCache {
+ public:
+  using Builder = std::function<UnitDiskGraph()>;
+
+  /// The topology for `key`, building it via `builder` on first request.
+  /// `builder` must be a pure function of `key` (same key ⇒ same graph);
+  /// it is invoked at most once per key for the cache's lifetime.
+  std::shared_ptr<const UnitDiskGraph> get_or_build(const TopologyKey& key,
+                                                    const Builder& builder);
+
+  /// Distinct topologies currently cached.
+  std::size_t size() const;
+  /// Requests served from an existing entry / requests that built one.
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+  /// Drops every entry (outstanding shared_ptrs stay valid).
+  void clear();
+
+ private:
+  struct Entry {
+    std::once_flag built;
+    std::shared_ptr<const UnitDiskGraph> graph;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<TopologyKey, std::shared_ptr<Entry>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Process-wide cache used by the experiment harnesses and the CLI. Sweeps
+/// within one process share topologies; separate processes (CI runs, the
+/// determinism diffs) each build their own, which is exactly what the
+/// byte-identity contract needs.
+TopologyCache& global_topology_cache();
+
+}  // namespace sinrcolor::graph

@@ -1,5 +1,6 @@
 #include "radio/interference_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -32,6 +33,9 @@ SinrInterferenceModel::SinrInterferenceModel(const graph::UnitDiskGraph& graph,
       pool_(make_pool(options)) {
   params_.validate();
   check_radius_matches_phys(graph_, params_);
+  engine_.reserve(graph_.size(), options_.threads);
+  decodes_.reserve(graph_.size());
+  txs_.reserve(graph_.size());
 }
 
 void SinrInterferenceModel::resolve(
@@ -47,13 +51,12 @@ void SinrInterferenceModel::resolve(
     return;
   }
 
-  std::vector<sinr::Transmitter> txs;
-  txs.reserve(transmissions.size());
+  txs_.clear();
   for (const auto& t : transmissions) {
-    txs.push_back({graph_.position(t.sender)});
+    txs_.push_back({graph_.position(t.sender)});
   }
   engine_.resolve_slot(
-      params_, txs, graph_.index(), graph_.deployment().points, listening,
+      params_, txs_, graph_.index(), graph_.deployment().points, listening,
       graph_.radius(),
       [](graph::NodeId /*listener*/) { return sinr::UnitGain{}; }, pool_.get(),
       decodes_);
@@ -71,10 +74,9 @@ void SinrInterferenceModel::resolve_naive(
     const std::vector<TxRecord>& transmissions,
     const std::vector<bool>& listening,
     std::vector<std::optional<Message>>& deliveries) const {
-  std::vector<sinr::Transmitter> txs;
-  txs.reserve(transmissions.size());
+  txs_.clear();
   for (const auto& t : transmissions) {
-    txs.push_back({graph_.position(t.sender)});
+    txs_.push_back({graph_.position(t.sender)});
   }
 
   // Only neighbors of some transmitter can pass the δ ≤ R_T gate, so it
@@ -83,7 +85,7 @@ void SinrInterferenceModel::resolve_naive(
     const auto sender = transmissions[i].sender;
     for (graph::NodeId u : graph_.neighbors(sender)) {
       if (!listening[u]) continue;
-      const double ratio = sinr::sinr_at(params_, graph_.position(u), txs, i);
+      const double ratio = sinr::sinr_at(params_, graph_.position(u), txs_, i);
       if (ratio >= params_.beta) {
         SINRCOLOR_CHECK_MSG(!deliveries[u].has_value(),
                             "beta >= 1 forbids two decodable senders");
@@ -104,20 +106,20 @@ void GraphInterferenceModel::resolve(
   SINRCOLOR_DCHECK(deliveries.size() == graph_.size());
   if (transmissions.empty()) return;
 
-  // covering[u] = number of transmitting neighbors; a listener decodes iff
-  // exactly one neighbor transmits.
-  std::vector<std::uint8_t> covering(graph_.size(), 0);
-  std::vector<std::size_t> candidate_tx(graph_.size(), 0);
+  // A listener decodes iff exactly one neighbor transmits. candidate_tx_
+  // needs no reset: it is read only where covering_[u] == 1, i.e. where it
+  // was written this slot.
+  std::fill(covering_.begin(), covering_.end(), std::uint8_t{0});
   for (std::size_t i = 0; i < transmissions.size(); ++i) {
     for (graph::NodeId u : graph_.neighbors(transmissions[i].sender)) {
-      if (covering[u] < 2) ++covering[u];
-      candidate_tx[u] = i;
+      if (covering_[u] < 2) ++covering_[u];
+      candidate_tx_[u] = i;
     }
   }
   for (const auto& t : transmissions) {
     for (graph::NodeId u : graph_.neighbors(t.sender)) {
-      if (listening[u] && covering[u] == 1 && !deliveries[u].has_value()) {
-        deliveries[u] = transmissions[candidate_tx[u]].message;
+      if (listening[u] && covering_[u] == 1 && !deliveries[u].has_value()) {
+        deliveries[u] = transmissions[candidate_tx_[u]].message;
       }
     }
   }
@@ -133,6 +135,10 @@ FadingSinrInterferenceModel::FadingSinrInterferenceModel(
       pool_(make_pool(options)) {
   params_.validate();
   check_radius_matches_phys(graph_, params_);
+  engine_.reserve(graph_.size(), options_.threads);
+  decodes_.reserve(graph_.size());
+  txs_.reserve(graph_.size());
+  tx_ids_.reserve(graph_.size());
 }
 
 void FadingSinrInterferenceModel::resolve(
@@ -148,19 +154,17 @@ void FadingSinrInterferenceModel::resolve(
     return;
   }
 
-  std::vector<sinr::Transmitter> txs;
-  txs.reserve(transmissions.size());
+  txs_.clear();
   tx_ids_.clear();
-  tx_ids_.reserve(transmissions.size());
   for (const auto& t : transmissions) {
-    txs.push_back({graph_.position(t.sender)});
+    txs_.push_back({graph_.position(t.sender)});
     tx_ids_.push_back(t.sender);
   }
   // Per-listener gain closure: every transmitter's contribution to F(u) is
   // scaled by its (seed, slot, link)-keyed fade, signal and interference
   // alike — identical arithmetic to the naive per-pair loop.
   engine_.resolve_slot(
-      params_, txs, graph_.index(), graph_.deployment().points, listening,
+      params_, txs_, graph_.index(), graph_.deployment().points, listening,
       graph_.radius(),
       [this, slot](graph::NodeId listener) {
         return [this, slot, listener](std::size_t j) {

@@ -97,6 +97,10 @@ class SinrInterferenceModel final : public InterferenceModel {
   std::unique_ptr<common::TaskPool> pool_;
   mutable sinr::FieldEngine engine_;
   mutable std::vector<sinr::FieldEngine::Decode> decodes_;
+  /// Slot scratch (positions of this slot's transmitters). Grows to the max
+  /// concurrent-tx count within the first few slots, then stays put — resolve
+  /// is allocation-free in steady state.
+  mutable std::vector<sinr::Transmitter> txs_;
 };
 
 /// SINR medium with stochastic per-link fading (sinr/fading.h): the received
@@ -130,12 +134,15 @@ class FadingSinrInterferenceModel final : public InterferenceModel {
   mutable sinr::FieldEngine engine_;
   mutable std::vector<sinr::FieldEngine::Decode> decodes_;
   mutable std::vector<graph::NodeId> tx_ids_;
+  mutable std::vector<sinr::Transmitter> txs_;  ///< slot scratch, see above
 };
 
 class GraphInterferenceModel final : public InterferenceModel {
  public:
   explicit GraphInterferenceModel(const graph::UnitDiskGraph& graph)
-      : graph_(graph) {}
+      : graph_(graph),
+        covering_(graph.size(), 0),
+        candidate_tx_(graph.size(), 0) {}
 
   void resolve(Slot slot, const std::vector<TxRecord>& transmissions,
                const std::vector<bool>& listening,
@@ -145,6 +152,11 @@ class GraphInterferenceModel final : public InterferenceModel {
 
  private:
   const graph::UnitDiskGraph& graph_;
+  /// Per-slot scratch, sized once at construction (zero-alloc resolve):
+  /// covering_[u] = transmitting neighbors of u (saturating at 2),
+  /// candidate_tx_[u] = index of the last one (valid iff covering_[u] == 1).
+  mutable std::vector<std::uint8_t> covering_;
+  mutable std::vector<std::size_t> candidate_tx_;
 };
 
 }  // namespace sinrcolor::radio

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "common/alloc_counter.h"
 #include "common/check.h"
 
 namespace sinrcolor::radio {
@@ -25,6 +26,17 @@ Simulator::Simulator(const graph::UnitDiskGraph& graph,
   for (std::size_t v = 0; v < graph_.size(); ++v) {
     rngs_.emplace_back(common::derive_seed(seed, v));
   }
+  // The whole slot-loop working set is carved out here, before any slot
+  // runs; `transmissions` gets full-n capacity because any subset of nodes
+  // may transmit in one slot and a late record spike must not allocate.
+  const std::size_t n = graph_.size();
+  scratch_.awake.assign(n, 0);
+  scratch_.dead.assign(n, 0);
+  scratch_.schedule_suppressed.assign(n, 0);
+  scratch_.listening.assign(n, false);
+  scratch_.transmissions.reserve(n);
+  scratch_.deliveries.assign(n, std::nullopt);
+  scratch_.covered.reserve(n);
 }
 
 void Simulator::set_protocol(graph::NodeId v, std::unique_ptr<Protocol> protocol) {
@@ -73,11 +85,11 @@ RunMetrics Simulator::run(Slot max_slots) {
   metrics.tx_count.assign(n, 0);
   metrics.awake_slots.assign(n, 0);
 
-  std::vector<bool> awake(n, false);
-  std::vector<bool> dead(n, false);
-  std::vector<bool> listening(n, false);
-  std::vector<TxRecord> transmissions;
-  std::vector<std::optional<Message>> deliveries(n);
+  auto& awake = scratch_.awake;
+  auto& dead = scratch_.dead;
+  auto& listening = scratch_.listening;
+  auto& transmissions = scratch_.transmissions;
+  auto& deliveries = scratch_.deliveries;
 
   obs::Tracer* const tracer =
       observation_ != nullptr ? &observation_->trace : nullptr;
@@ -92,9 +104,9 @@ RunMetrics Simulator::run(Slot max_slots) {
   // Scratch for collision attribution (kDrop): per listener, how many
   // transmitters cover it this slot and one sample interferer. Only
   // maintained when a tracer is attached (unobserved runs never touch it).
-  std::vector<std::uint32_t> cover_count;
-  std::vector<graph::NodeId> cover_sample;
-  std::vector<graph::NodeId> covered;
+  auto& cover_count = scratch_.cover_count;
+  auto& cover_sample = scratch_.cover_sample;
+  auto& covered = scratch_.covered;
   if (tracer != nullptr) {
     cover_count.assign(n, 0);
     cover_sample.assign(n, graph::kInvalidNode);
@@ -103,17 +115,18 @@ RunMetrics Simulator::run(Slot max_slots) {
   std::size_t joins_pending = 0;
   // A join slot replaces the schedule entry unless the node must first live
   // through an earlier failure (revival; see set_join_slot precedence).
-  std::vector<bool> schedule_suppressed(n, false);
+  auto& schedule_suppressed = scratch_.schedule_suppressed;
   for (std::size_t v = 0; v < n; ++v) {
     if (join_slot_[v] < 0) continue;
     ++joins_pending;
     schedule_suppressed[v] =
-        failure_slot_[v] < 0 || failure_slot_[v] >= join_slot_[v];
+        (failure_slot_[v] < 0 || failure_slot_[v] >= join_slot_[v]) ? 1 : 0;
   }
 
   for (Slot slot = 0; slot < max_slots && (undecided > 0 || joins_pending > 0);
        ++slot) {
     metrics.slots_executed = slot + 1;
+    const std::uint64_t allocs_at_slot_start = common::thread_heap_allocs();
 
     // 1. Failures, joins, wake-ups and transmission decisions.
     transmissions.clear();
@@ -240,6 +253,15 @@ RunMetrics Simulator::run(Slot max_slots) {
         metrics.decision_slot[v] = slot;
         --undecided;
       }
+    }
+
+    // Allocation attribution: a slot that allocated cannot be steady-state.
+    // Two thread_local reads per slot; zero when the counting build is off.
+    const std::uint64_t slot_allocs =
+        common::thread_heap_allocs() - allocs_at_slot_start;
+    if (slot_allocs > 0) {
+      metrics.slot_heap_allocs += slot_allocs;
+      metrics.last_alloc_slot = slot;
     }
   }
 

@@ -7,6 +7,7 @@
 // seed: node v draws from its own splitmix-derived stream.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -91,6 +92,26 @@ class Simulator {
   const WakeupSchedule& wakeups() const { return wakeups_; }
 
  private:
+  /// Per-slot working set, allocated once in the constructor and reused by
+  /// every slot — the slot loop itself performs no heap allocation in steady
+  /// state (RunMetrics::steady_state_alloc_free; the SINRCOLOR_COUNT_ALLOCS
+  /// build asserts it). Hot per-node flags are byte arrays rather than
+  /// vector<bool>: the wake/decide loops touch all n every slot and byte
+  /// loads beat bit extraction there. `listening` stays vector<bool> because
+  /// it crosses the InterferenceModel interface.
+  struct SlotScratch {
+    std::vector<std::uint8_t> awake;
+    std::vector<std::uint8_t> dead;
+    std::vector<std::uint8_t> schedule_suppressed;
+    std::vector<bool> listening;
+    std::vector<TxRecord> transmissions;
+    std::vector<std::optional<Message>> deliveries;
+    // Collision attribution (kDrop), maintained only under a tracer.
+    std::vector<std::uint32_t> cover_count;
+    std::vector<graph::NodeId> cover_sample;
+    std::vector<graph::NodeId> covered;
+  };
+
   const graph::UnitDiskGraph& graph_;
   std::unique_ptr<InterferenceModel> model_;
   WakeupSchedule wakeups_;
@@ -99,6 +120,7 @@ class Simulator {
   std::vector<std::unique_ptr<Protocol>> protocols_;
   std::vector<common::Rng> rngs_;
   std::vector<SlotObserver> observers_;
+  SlotScratch scratch_;
   obs::RunObservation* observation_ = nullptr;
   bool ran_ = false;
 };

@@ -34,11 +34,27 @@ struct RunMetrics {
   std::vector<std::uint64_t> tx_count;
   /// Per-node awake-slot count: listening costs energy too.
   std::vector<std::uint64_t> awake_slots;
+  /// Heap allocations observed inside the slot loop on the simulating thread
+  /// (always 0 when the counting build is off —
+  /// common::alloc_counting_enabled()). Deterministic for a given workload:
+  /// allocation counts are a pure function of the execution path, so they
+  /// are identical at any sweep thread count.
+  std::uint64_t slot_heap_allocs = 0;
+  /// Last slot whose execution performed any heap allocation; -1 if none.
+  /// Every slot after it ran allocation-free — the steady state.
+  Slot last_alloc_slot = -1;
 
   /// Maximum over nodes of (decision slot − wake slot); the paper's time
   /// complexity measure ("time slots a node spends before deciding").
   Slot max_decision_latency() const;
   double mean_decision_latency() const;
+
+  /// The zero-allocation slot-loop contract: the run's entire second half
+  /// performed no heap allocation (0 allocations per steady-state slot).
+  /// Vacuously true when the counting build is off.
+  bool steady_state_alloc_free() const {
+    return last_alloc_slot < slots_executed / 2;
+  }
 
   std::string summary() const;
 };

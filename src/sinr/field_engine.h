@@ -147,6 +147,21 @@ class FieldEngine {
     double margin;       ///< achieved SINR over β
   };
 
+  /// Pre-sizes every scratch buffer to its structural bound (`nodes`
+  /// listeners / transmitters, `shard_count` pool shards) so resolve_slot
+  /// never allocates afterwards — amortized growth would otherwise spike on
+  /// whichever late slot happens to set a coverage record, breaking the
+  /// zero-allocation steady-state contract. ~28 bytes per node per shard.
+  void reserve(std::size_t nodes, std::size_t shard_count) {
+    if (touched_.size() < nodes) touched_.resize(nodes, 0);
+    covered_.reserve(nodes);
+    shards_.resize(std::max({shards_.size(), shard_count, std::size_t{1}}));
+    for (Shard& shard : shards_) {
+      shard.candidates.reserve(nodes);
+      shard.decodes.reserve(nodes);
+    }
+  }
+
   /// `positions[u]` is listener u's location; `listening[u]` gates
   /// eligibility (transmitting or asleep nodes are skipped). `index` must be
   /// built over the same positions with the same ids. `gain_for(u)` returns

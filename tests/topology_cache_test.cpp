@@ -1,0 +1,142 @@
+// graph::TopologyCache contract: one build per distinct key, the same
+// shared graph handed to every requester, and — the part the sweeps rely
+// on — a cached topology drives the protocol to byte-identical output as a
+// freshly built one, under each reception medium.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mw_protocol.h"
+#include "core/report.h"
+#include "geometry/deployment.h"
+#include "graph/topology_cache.h"
+#include "graph/unit_disk_graph.h"
+
+namespace sinrcolor {
+namespace {
+
+graph::UnitDiskGraph build_graph(std::size_t n, double side,
+                                 std::uint64_t seed) {
+  common::Rng rng(seed);
+  return {geometry::uniform_deployment(n, side, rng), 1.0};
+}
+
+graph::TopologyKey key_for(std::size_t n, double side, std::uint64_t seed) {
+  graph::TopologyKey key;
+  key.kind = "test-uniform";
+  key.n = n;
+  key.side = side;
+  key.radius = 1.0;
+  key.seed = seed;
+  return key;
+}
+
+TEST(TopologyCacheTest, SameKeyReturnsSamePointer) {
+  graph::TopologyCache cache;
+  const auto key = key_for(40, 5.0, 7);
+  const auto a = cache.get_or_build(key, [&] { return build_graph(40, 5.0, 7); });
+  const auto b = cache.get_or_build(key, [&] { return build_graph(40, 5.0, 7); });
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(TopologyCacheTest, DistinctKeysBuildDistinctGraphs) {
+  graph::TopologyCache cache;
+  const auto a = cache.get_or_build(key_for(40, 5.0, 7),
+                                    [&] { return build_graph(40, 5.0, 7); });
+  const auto b = cache.get_or_build(key_for(40, 5.0, 8),
+                                    [&] { return build_graph(40, 5.0, 8); });
+  const auto c = cache.get_or_build(key_for(48, 5.0, 7),
+                                    [&] { return build_graph(48, 5.0, 7); });
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(TopologyCacheTest, BuilderRunsOncePerKeyUnderConcurrency) {
+  graph::TopologyCache cache;
+  const auto key = key_for(64, 6.0, 3);
+  std::atomic<int> builds{0};
+  std::vector<std::shared_ptr<const graph::UnitDiskGraph>> got(8);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < got.size(); ++t) {
+    threads.emplace_back([&, t] {
+      got[t] = cache.get_or_build(key, [&] {
+        builds.fetch_add(1);
+        return build_graph(64, 6.0, 3);
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& g : got) {
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g.get(), got[0].get());
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits() + cache.misses(), got.size());
+}
+
+TEST(TopologyCacheTest, ClearResetsEverything) {
+  graph::TopologyCache cache;
+  cache.get_or_build(key_for(40, 5.0, 7),
+                     [&] { return build_graph(40, 5.0, 7); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+// The load-bearing property: a full protocol run on a cache-served topology
+// must serialize byte-for-byte like a run on a fresh private build, for each
+// of the three reception media the sweeps exercise.
+TEST(TopologyCacheTest, CachedRunsMatchFreshRunsAcrossMedia) {
+  const std::size_t n = 80;
+  const double side = std::sqrt(static_cast<double>(n) * M_PI / 10.0);
+  const std::uint64_t graph_seed = 21;
+
+  struct Medium {
+    const char* name;
+    core::MwRunConfig cfg;
+  };
+  std::vector<Medium> media(3);
+  media[0].name = "sinr-field";
+  media[1].name = "sinr-fading";
+  media[1].cfg.fading.kind = sinr::FadingKind::kLogNormal;
+  media[2].name = "graph-medium";
+  media[2].cfg.graph_model = true;
+  for (auto& m : media) m.cfg.seed = 5;
+
+  graph::TopologyCache cache;
+  const auto key = key_for(n, side, graph_seed);
+  for (const auto& m : media) {
+    const auto fresh = build_graph(n, side, graph_seed);
+    const auto cached = cache.get_or_build(
+        key, [&] { return build_graph(n, side, graph_seed); });
+    const auto fresh_json = core::to_json(core::run_mw_coloring(fresh, m.cfg));
+    const auto cached_json =
+        core::to_json(core::run_mw_coloring(*cached, m.cfg));
+    EXPECT_EQ(fresh_json, cached_json) << "medium " << m.name;
+  }
+  // All three media shared one cached build.
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(TopologyCacheTest, GlobalCacheIsAProcessSingleton) {
+  auto& a = graph::global_topology_cache();
+  auto& b = graph::global_topology_cache();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace sinrcolor

@@ -4,7 +4,11 @@
 //                          [--rho=..] [--profile=practical|theory]
 //   sinrcolor_cli color    [--n=..] [--side=..] [--seed=..] [--deployment=..]
 //                          [--wakeup=sync|uniform] [--resolve=field|naive]
-//                          [--threads=..] [--json=out.json] [--quiet]
+//                          [--threads=..] [--trials=..] [--json=out.json]
+//                          [--quiet]
+//   sinrcolor_cli sweep    [--n-list=64,128,..] [--trials=..] [--threads=..]
+//                          [--avg-degree=..] [--seed=..] [--resolve=..]
+//                          [--shared-topology] [--csv=out.csv] [--quiet]
 //   sinrcolor_cli mac      [--n=..] [--side=..] [--seed=..]
 //   sinrcolor_cli simulate [--n=..] [--side=..] [--seed=..] [--algorithm=..]
 //   sinrcolor_cli recover  [--n=..] [--side=..] [--seed=..] [--deployment=..]
@@ -23,7 +27,11 @@
 //
 // `params` prints the theory and practical constants side by side for an
 // instance size; `color` runs the distributed coloring (optionally exporting
-// the full run as JSON); `mac` builds the Theorem-3 TDMA schedule and audits
+// the full run as JSON) — `--trials=N` repeats it over N seed streams
+// derived from --seed, executed concurrently by --threads with byte-
+// identical output for every thread count; `sweep` runs a whole
+// (size × trials) grid through the same engine and prints one deterministic
+// row per size; `mac` builds the Theorem-3 TDMA schedule and audits
 // it; `simulate` runs a message-passing algorithm over the simulated MAC;
 // `recover` runs the self-healing protocol (src/robust) under crash-stop
 // failures and/or dynamic joins and reports the recovery metrics; `trace`
@@ -38,14 +46,19 @@
 #include <memory>
 
 #include "baseline/greedy_coloring.h"
+#include "common/alloc_counter.h"
 #include "common/cli.h"
+#include "common/json.h"
 #include "common/rng.h"
+#include "common/stats.h"
+#include "common/sweep.h"
 #include "common/table.h"
 #include "core/mw_protocol.h"
 #include "core/report.h"
 #include "core/timeline.h"
 #include "geometry/deployment.h"
 #include "graph/graph_algos.h"
+#include "graph/topology_cache.h"
 #include "mac/algorithms.h"
 #include "mac/distance_d.h"
 #include "mac/simulation.h"
@@ -60,7 +73,7 @@ using namespace sinrcolor;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: sinrcolor_cli <params|color|mac|simulate|recover> "
+               "usage: sinrcolor_cli <params|color|sweep|mac|simulate|recover> "
                "[--flags]\n"
                "see the header of tools/sinrcolor_cli.cpp for details\n");
   std::exit(2);
@@ -153,6 +166,105 @@ int cmd_params(const common::Cli& cli) {
   return 0;
 }
 
+// `color --trials=N`: N independent protocol runs over ONE graph, each with
+// its own splitmix-derived seed stream (common::trial_seed), executed
+// through the sweep engine. `--threads` then parallelizes trials (each trial
+// resolves single-threaded); the aggregate table and `--json` report are
+// byte-identical for every thread count — wall time goes to stdout only.
+int cmd_color_trials(const common::Cli& cli, const graph::UnitDiskGraph& g,
+                     core::MwRunConfig base_cfg, std::size_t trials) {
+  const std::string json_path = cli.get("json", "");
+  const bool quiet = cli.get_bool("quiet", false);
+  cli.reject_unknown();
+
+  const std::size_t threads = base_cfg.threads;
+  base_cfg.threads = 1;  // trial-level parallelism; no nested resolve pools
+  const std::uint64_t base_seed = base_cfg.seed;
+
+  struct Trial {
+    std::size_t colors = 0;
+    std::size_t leaders = 0;
+    double max_latency = 0.0;
+    double mean_latency = 0.0;
+    bool valid = false;
+    bool steady_alloc_free = false;
+  };
+  common::SweepEngine engine(threads);
+  common::SweepTiming timing;
+  const auto results = engine.run(
+      trials, base_seed,
+      [&](const common::TrialContext& ctx) {
+        core::MwRunConfig cfg = base_cfg;
+        cfg.seed = ctx.seed;
+        const auto r = core::run_mw_coloring(g, cfg);
+        Trial t;
+        t.colors = r.palette;
+        t.leaders = r.leaders.size();
+        t.max_latency = static_cast<double>(r.metrics.max_decision_latency());
+        t.mean_latency = r.metrics.mean_decision_latency();
+        t.valid = r.coloring_valid && r.metrics.all_decided;
+        t.steady_alloc_free = r.metrics.steady_state_alloc_free();
+        return t;
+      },
+      &timing);
+
+  common::Accumulator colors, leaders, max_lat, mean_lat;
+  bool all_valid = true;
+  bool all_alloc_free = true;
+  for (const Trial& t : results) {
+    colors.add(static_cast<double>(t.colors));
+    leaders.add(static_cast<double>(t.leaders));
+    max_lat.add(t.max_latency);
+    mean_lat.add(t.mean_latency);
+    all_valid &= t.valid;
+    all_alloc_free &= t.steady_alloc_free;
+  }
+  if (!quiet) {
+    std::printf("graph: n=%zu Delta=%zu avg_deg=%.1f\n", g.size(),
+                g.max_degree(), g.average_degree());
+    std::printf("trials: %zu (base seed %llu, derived streams)\n", trials,
+                static_cast<unsigned long long>(base_seed));
+    std::printf("colors: mean=%.1f [%.0f, %.0f]\n", colors.mean(),
+                colors.min(), colors.max());
+    std::printf("leaders: mean=%.1f  max_latency: mean=%.0f  "
+                "mean_latency: mean=%.0f\n",
+                leaders.mean(), max_lat.mean(), mean_lat.mean());
+    std::printf("valid: %s  steady-state alloc-free: %s\n",
+                all_valid ? "all" : "NO",
+                all_alloc_free ? "yes" : "NO");
+    std::printf("wall: %.1f ms total, per-trial p50 %.1f ms / p95 %.1f ms "
+                "(%zu threads)\n",
+                static_cast<double>(timing.total_us) / 1000.0,
+                static_cast<double>(timing.p50_us()) / 1000.0,
+                static_cast<double>(timing.p95_us()) / 1000.0, threads);
+  }
+  if (!json_path.empty()) {
+    // Deterministic trial report: results only, no wall times.
+    common::JsonWriter json;
+    json.begin_object();
+    json.field("n", g.size());
+    json.field("trials", trials);
+    json.field("base_seed", base_seed);
+    json.key("runs");
+    json.begin_array();
+    for (const Trial& t : results) {
+      json.begin_object();
+      json.field("colors", t.colors);
+      json.field("leaders", t.leaders);
+      json.field("max_latency", t.max_latency);
+      json.field("mean_latency", t.mean_latency);
+      json.field("valid", t.valid);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::ofstream out(json_path);
+    out << json.str() << '\n';
+    if (!quiet) std::printf("report written to %s\n", json_path.c_str());
+  }
+  return all_valid ? 0 : 1;
+}
+
 int cmd_color(const common::Cli& cli) {
   const auto g = build_graph(cli);
   core::MwRunConfig cfg;
@@ -162,6 +274,14 @@ int cmd_color(const common::Cli& cli) {
     cfg.wakeup_window = cli.get_int("wakeup-window", 2000);
   }
   apply_resolve_flags(cli, cfg);
+  const auto trials = cli.get_int("trials", 1);
+  if (trials < 1) {
+    std::fprintf(stderr, "--trials must be >= 1\n");
+    std::exit(2);
+  }
+  if (trials > 1) {
+    return cmd_color_trials(cli, g, cfg, static_cast<std::size_t>(trials));
+  }
   const std::string json_path = cli.get("json", "");
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
@@ -172,6 +292,16 @@ int cmd_color(const common::Cli& cli) {
                 g.max_degree(), g.average_degree());
     std::printf("params: %s\n", result.params.to_string().c_str());
     std::printf("result: %s\n", result.summary().c_str());
+    if (common::alloc_counting_enabled()) {
+      std::printf("slot-loop allocs: %llu over %lld slots (last alloc in "
+                  "slot %lld, steady-state %s)\n",
+                  static_cast<unsigned long long>(
+                      result.metrics.slot_heap_allocs),
+                  static_cast<long long>(result.metrics.slots_executed),
+                  static_cast<long long>(result.metrics.last_alloc_slot),
+                  result.metrics.steady_state_alloc_free() ? "alloc-free"
+                                                           : "ALLOCATING");
+    }
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -179,6 +309,140 @@ int cmd_color(const common::Cli& cli) {
     if (!quiet) std::printf("report written to %s\n", json_path.c_str());
   }
   return result.coloring_valid && result.metrics.all_decided ? 0 : 1;
+}
+
+// `sweep`: a (size × trials) grid through the sweep engine — the CLI's
+// front door to the same machinery the bench harnesses use. One
+// deterministic row per size (byte-identical for every --threads value);
+// wall times print separately. --shared-topology runs every trial of a size
+// on ONE cache-built graph (protocol-variance view) instead of a fresh
+// graph per trial (topology-variance view, the default).
+int cmd_sweep(const common::Cli& cli) {
+  const std::string n_list = cli.get("n-list", "64,128,256");
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 4));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 1));
+  const double avg = cli.get_double("avg-degree", 10.0);
+  const auto base_seed = cli.get_seed("seed", 1);
+  const bool shared_topology = cli.get_bool("shared-topology", false);
+  const std::string csv_path = cli.get("csv", "");
+  const bool quiet = cli.get_bool("quiet", false);
+  core::MwRunConfig base_cfg;
+  {
+    const std::string resolve = cli.get("resolve", "field");
+    if (!sinr::resolve_kind_from_string(resolve, base_cfg.resolve)) {
+      std::fprintf(stderr, "unknown --resolve=%s (field|naive)\n",
+                   resolve.c_str());
+      std::exit(2);
+    }
+  }
+  cli.reject_unknown();
+  if (trials < 1 || threads < 1) {
+    std::fprintf(stderr, "--trials and --threads must be >= 1\n");
+    return 2;
+  }
+
+  // Parse "64,128,256" into sizes.
+  std::vector<std::size_t> sizes;
+  std::size_t pos = 0;
+  while (pos < n_list.size()) {
+    const std::size_t comma = n_list.find(',', pos);
+    const std::string tok =
+        n_list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos);
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || v == 0) {
+      std::fprintf(stderr, "bad --n-list entry '%s'\n", tok.c_str());
+      return 2;
+    }
+    sizes.push_back(static_cast<std::size_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  struct Trial {
+    double colors = 0.0;
+    double max_latency = 0.0;
+    double delta = 0.0;
+    bool valid = false;
+  };
+  const auto graph_for = [&](std::size_t n, std::uint64_t graph_seed) {
+    const double side =
+        std::sqrt(static_cast<double>(n) * M_PI / avg);
+    graph::TopologyKey key;
+    key.kind = "uniform-density";
+    key.n = n;
+    key.side = side;
+    key.radius = 1.0;
+    key.seed = graph_seed;
+    key.param1 = avg;
+    return graph::global_topology_cache().get_or_build(key, [&] {
+      common::Rng rng(graph_seed);
+      return graph::UnitDiskGraph(geometry::uniform_deployment(n, side, rng),
+                                  1.0);
+    });
+  };
+
+  common::SweepEngine engine(threads);
+  common::Table table(
+      {"n", "trials", "Delta", "colors", "max_latency", "valid"});
+  bool all_valid = true;
+  for (std::size_t n : sizes) {
+    const std::uint64_t size_seed = common::derive_seed(base_seed, n);
+    common::SweepTiming timing;
+    const auto results = engine.run(
+        trials, size_seed,
+        [&](const common::TrialContext& ctx) {
+          // Shared topology: one graph per size (seed from the size, not the
+          // trial) reused read-only by every trial. Default: fresh graph per
+          // trial from the trial's own stream.
+          const auto g = graph_for(
+              n, shared_topology ? common::derive_seed(size_seed, 0x67)
+                                 : common::derive_seed(ctx.seed, 0x67));
+          core::MwRunConfig cfg = base_cfg;
+          cfg.seed = ctx.seed;
+          const auto r = core::run_mw_coloring(*g, cfg);
+          Trial t;
+          t.colors = static_cast<double>(r.palette);
+          t.max_latency =
+              static_cast<double>(r.metrics.max_decision_latency());
+          t.delta = static_cast<double>(g->max_degree());
+          t.valid = r.coloring_valid && r.metrics.all_decided;
+          return t;
+        },
+        &timing);
+    common::Accumulator colors, max_lat, delta;
+    for (const Trial& t : results) {
+      colors.add(t.colors);
+      max_lat.add(t.max_latency);
+      delta.add(t.delta);
+      all_valid &= t.valid;
+    }
+    table.add_row({common::Table::integer(static_cast<long long>(n)),
+                   common::Table::integer(static_cast<long long>(trials)),
+                   common::Table::num(delta.mean(), 1),
+                   common::Table::num(colors.mean(), 1),
+                   common::Table::num(max_lat.mean(), 0),
+                   all_valid ? "yes" : "NO"});
+    if (!quiet) {
+      std::printf("n=%zu: %zu trials in %.1f ms (p50 %.1f / p95 %.1f ms per "
+                  "trial, %zu threads)\n",
+                  n, trials, static_cast<double>(timing.total_us) / 1000.0,
+                  static_cast<double>(timing.p50_us()) / 1000.0,
+                  static_cast<double>(timing.p95_us()) / 1000.0, threads);
+    }
+  }
+  table.print(std::cout);
+  if (shared_topology && !quiet) {
+    std::printf("topology cache: %zu built, %llu reused\n",
+                graph::global_topology_cache().size(),
+                static_cast<unsigned long long>(
+                    graph::global_topology_cache().hits()));
+  }
+  if (!csv_path.empty() && table.write_csv(csv_path)) {
+    if (!quiet) std::printf("rows written to %s\n", csv_path.c_str());
+  }
+  return all_valid ? 0 : 1;
 }
 
 int cmd_mac(const common::Cli& cli) {
@@ -498,6 +762,7 @@ int main(int argc, char** argv) {
   const common::Cli cli(argc - 1, argv + 1);
   if (command == "params") return cmd_params(cli);
   if (command == "color") return cmd_color(cli);
+  if (command == "sweep") return cmd_sweep(cli);
   if (command == "mac") return cmd_mac(cli);
   if (command == "simulate") return cmd_simulate(cli);
   if (command == "recover") return cmd_recover(cli);
