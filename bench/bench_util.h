@@ -186,12 +186,30 @@ class MetricsSidecar {
     json.key("metrics");
     observation_->metrics.write_json(json);
     json.end_object();
-    std::ofstream out(path_);
-    if (!out) {
-      std::printf("cannot write metrics sidecar %s\n", path_.c_str());
+    // Atomic publish: write to a sibling tmp file, then rename over the
+    // target. A crash (or a concurrent reader) never observes a truncated
+    // sidecar — rename(2) is atomic within a filesystem.
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) {
+        std::printf("cannot write metrics sidecar %s\n", tmp.c_str());
+        return false;
+      }
+      out << json.str() << '\n';
+      out.flush();
+      if (!out) {
+        std::printf("cannot write metrics sidecar %s\n", tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+      }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      std::printf("cannot rename metrics sidecar %s -> %s\n", tmp.c_str(),
+                  path_.c_str());
+      std::remove(tmp.c_str());
       return false;
     }
-    out << json.str() << '\n';
     std::printf("metrics sidecar written to %s\n", path_.c_str());
     return true;
   }

@@ -65,6 +65,30 @@ double Cli::get_double(const std::string& name, double default_value) const {
   return v;
 }
 
+std::int64_t Cli::get_int_at_least(const std::string& name,
+                                   std::int64_t default_value,
+                                   std::int64_t min) const {
+  const std::int64_t v = get_int(name, default_value);
+  if (has(name) && v < min) {
+    usage_error(program_, "flag --" + name + " must be at least " +
+                              std::to_string(min) + ", got " +
+                              std::to_string(v));
+  }
+  return v;
+}
+
+double Cli::get_double_at_least(const std::string& name, double default_value,
+                                double min) const {
+  const double v = get_double(name, default_value);
+  if (has(name) && v < min) {
+    char msg[128];
+    std::snprintf(msg, sizeof msg, "flag --%s must be at least %g, got %g",
+                  name.c_str(), min, v);
+    usage_error(program_, msg);
+  }
+  return v;
+}
+
 bool Cli::get_bool(const std::string& name, bool default_value) const {
   const std::string raw = get(name, "");
   if (raw.empty()) return default_value;

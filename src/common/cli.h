@@ -19,6 +19,15 @@ class Cli {
   std::string get(const std::string& name, const std::string& default_value) const;
   std::int64_t get_int(const std::string& name, std::int64_t default_value) const;
   double get_double(const std::string& name, double default_value) const;
+  /// get_int / get_double with a validated lower bound: a value below `min`
+  /// (e.g. "--threads 0", a negative slot count) exits with the usage error
+  /// instead of misbehaving deep inside a run. The default itself is not
+  /// checked — callers pass defaults that satisfy their own bound.
+  std::int64_t get_int_at_least(const std::string& name,
+                                std::int64_t default_value,
+                                std::int64_t min) const;
+  double get_double_at_least(const std::string& name, double default_value,
+                             double min) const;
   bool get_bool(const std::string& name, bool default_value) const;
   std::uint64_t get_seed(const std::string& name, std::uint64_t default_value) const;
 

@@ -1,9 +1,15 @@
-// Minimal JSON writer (no DOM, no parsing): experiment and run results are
-// exported for downstream tooling. Emits valid RFC-8259 documents; numbers
-// are finite doubles/integers, strings are escaped.
+// Minimal JSON support: a streaming writer (experiment and run results are
+// exported for downstream tooling) and a small recursive-descent parser
+// (declarative inputs such as fault plans are read back in). The writer
+// emits valid RFC-8259 documents; numbers are finite doubles/integers,
+// strings are escaped. The parser accepts strict RFC-8259 (no comments, no
+// trailing commas) and reports errors with a byte offset instead of
+// aborting, so malformed user-supplied files fail with a message.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,5 +64,59 @@ class JsonWriter {
   std::vector<bool> first_in_frame_;
   bool expecting_value_ = false;  // a key was just written
 };
+
+/// Parsed JSON document node. Objects keep their members in a sorted map
+/// (key order is irrelevant to every consumer; iteration is deterministic).
+/// All numbers are held as double — the integer accessors round-trip exactly
+/// up to 2^53, far beyond any slot count or node id this repo handles.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; each aborts (CHECK) when the kind does not match —
+  /// callers validate kinds first (FaultPlan::from_json does).
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;  ///< as_double, CHECKed integral
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; null when absent or when this is not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(Array v);
+  static JsonValue make_object(Object v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Indirection keeps JsonValue movable/copyable without recursive layout.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses one JSON document (with optional surrounding whitespace). Returns
+/// false and fills `error` (when non-null) with "offset N: message" on
+/// malformed input; `out` is untouched in that case.
+bool parse_json(const std::string& text, JsonValue& out, std::string* error);
 
 }  // namespace sinrcolor::common

@@ -70,6 +70,7 @@ void MwNode::enter_class(std::int32_t j) {
   competitors_.clear();
   counter_ = 0;
   listen_remaining_ = params_.listen_slots;
+  retransmit_anchor_ = -1;  // any R episode is over
 }
 
 MwNode::Competitor* MwNode::find_competitor(graph::NodeId w) {
@@ -142,6 +143,32 @@ std::optional<radio::Message> MwNode::begin_slot(radio::Slot slot,
     }
 
     case MwStateKind::kRequesting: {
+      // Robustness hardening: a deterministic forced M_R once the backoff
+      // deadline passes, so a request lost to injected drops/jamming is
+      // retried in bounded time instead of relying on the q_s coin alone.
+      // Inert (and RNG-stream neutral) while the policy is disabled.
+      if (retransmit_.enabled()) {
+        if (retransmit_anchor_ < 0) {  // first R slot of this episode
+          retransmit_anchor_ = slot;
+          retransmit_wait_ = retransmit_.initial_wait;
+          retries_used_ = 0;
+        }
+        if (retries_used_ < retransmit_.max_retries &&
+            slot - retransmit_anchor_ >= retransmit_wait_) {
+          retransmit_anchor_ = slot;
+          retransmit_wait_ = std::max<radio::Slot>(
+              retransmit_wait_ + 1,
+              static_cast<radio::Slot>(static_cast<double>(retransmit_wait_) *
+                                       retransmit_.backoff));
+          ++retries_used_;
+          ++forced_retransmissions_;
+          radio::Message m;
+          m.kind = radio::MessageKind::kRequest;
+          m.sender = id_;
+          m.target = leader_;
+          return m;
+        }
+      }
       // Fig. 3 line 2.
       if (rng.bernoulli(params_.q_small)) {
         radio::Message m;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/mw_params.h"
+#include "core/recovery_types.h"
 #include "graph/coloring.h"
 #include "obs/observation.h"
 #include "radio/protocol.h"
@@ -120,6 +121,15 @@ class MwNode final : public radio::Protocol {
   /// crashed competitor's mirrored counter would otherwise advance forever
   /// and keep depressing χ(P_v). Returns the number pruned.
   std::size_t prune_competitors_older_than(radio::Slot now, radio::Slot max_age);
+  /// Enables bounded request retransmission with exponential backoff (state
+  /// R hardening against injected message loss; see RetransmitPolicy). A
+  /// disabled policy (the default) leaves the per-slot behaviour — and the
+  /// RNG stream — byte-identical to the paper's protocol. Call before run.
+  void set_retransmit_policy(const RetransmitPolicy& policy) {
+    retransmit_ = policy;
+  }
+  /// Forced M_R resends performed so far (0 with a disabled policy).
+  std::size_t forced_retransmissions() const { return forced_retransmissions_; }
 
   // --- observability (src/obs) ---
   /// Attaches trace + metrics sinks: transition_to then emits mw_transition /
@@ -170,6 +180,13 @@ class MwNode final : public radio::Protocol {
   std::vector<Competitor> competitors_;  ///< P_v with mirrored counters
   graph::NodeId leader_ = graph::kInvalidNode;  ///< L(v)
   std::uint64_t resets_ = 0;
+
+  // Request retransmission (robustness hardening; inert when disabled).
+  RetransmitPolicy retransmit_;
+  radio::Slot retransmit_anchor_ = -1;  ///< R entry / last forced send
+  radio::Slot retransmit_wait_ = 0;     ///< current backoff interval
+  std::size_t retries_used_ = 0;        ///< forced sends this R episode
+  std::size_t forced_retransmissions_ = 0;
 
   // Leader (C_0) bookkeeping. Q is a vector + head index rather than a
   // deque: a deque allocates and frees blocks as entries churn, while the

@@ -103,6 +103,7 @@ MwInstance::MwInstance(const graph::UnitDiskGraph& g, const MwRunConfig& config)
   for (graph::NodeId v = 0; v < g.size(); ++v) {
     auto node = std::make_unique<MwNode>(v, params_);
     node->reserve_peers(g.degree(v));
+    node->set_retransmit_policy(config_.recovery.retransmit);
     nodes_.push_back(node.get());
     simulator_->set_protocol(v, std::move(node));
   }

@@ -77,9 +77,10 @@ struct MwRunConfig {
   /// purpose, e.g. constant q_s instead of q_ℓ/Δ).
   std::optional<MwParams> params_override;
   /// Self-healing layer: failure detection + leader failover + dynamic
-  /// joins. MwInstance itself IGNORES these knobs (the plain paper protocol
-  /// has no recovery); run the config through robust::run_recovering_mw to
-  /// honour them. They live here so every harness configures one struct.
+  /// joins. MwInstance honours only `recovery.retransmit` (request-path
+  /// hardening is protocol-local); the detector/failover/join knobs need the
+  /// robust driver — run the config through robust::run_recovering_mw to get
+  /// them. They live here so every harness configures one struct.
   RecoveryOptions recovery;
 };
 

@@ -9,11 +9,14 @@ std::string RecoveryOptions::to_string() const {
   std::snprintf(buf, sizeof buf,
                 "RecoveryOptions{enabled=%s, timeout=%lld, backoff=%.2g, "
                 "max_failovers=%zu, join_frac=%.3g, join_at=%lld, "
-                "join_window=%lld}",
+                "join_window=%lld, retransmit=%lld, degrade=%s, settle=%lld}",
                 enabled ? "yes" : "no",
                 static_cast<long long>(suspect_timeout), backoff, max_failovers,
                 join_fraction, static_cast<long long>(join_at),
-                static_cast<long long>(join_window));
+                static_cast<long long>(join_window),
+                static_cast<long long>(retransmit.initial_wait),
+                degrade_to_provisional ? "yes" : "no",
+                static_cast<long long>(settle_slots));
   return buf;
 }
 
@@ -21,9 +24,11 @@ std::string RecoveryStats::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "failovers=%zu recovered=%zu joined=%zu conflicts_repaired=%zu "
-                "join_fallbacks=%zu failover_latency=%.1f/%lld",
+                "late_repairs=%zu join_fallbacks=%zu degraded=%zu "
+                "failover_latency=%.1f/%lld",
                 failovers, recovered_nodes, joined_nodes,
-                join_conflicts_repaired, join_fallbacks, mean_failover_latency,
+                join_conflicts_repaired, late_conflicts_repaired,
+                join_fallbacks, degraded_nodes, mean_failover_latency,
                 static_cast<long long>(max_failover_latency));
   return buf;
 }

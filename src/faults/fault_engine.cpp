@@ -1,0 +1,99 @@
+#include "faults/fault_engine.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "geometry/point.h"
+
+namespace sinrcolor::faults {
+namespace {
+
+/// Domain tag of the engine's drop stream (cf. 0xdead failures, 0x901d
+/// joins, 0xbeef wakeups in the drivers — distinct by construction).
+constexpr std::uint64_t kDropStream = 0xfa017ULL;
+
+/// Uniform [0,1) draw as a pure hash of the key — no generator state, so
+/// the answer for a given (seed, slot, link, window) never depends on
+/// evaluation order or thread count.
+double hash_uniform(std::uint64_t seed, radio::Slot slot, graph::NodeId sender,
+                    graph::NodeId listener, std::size_t window) {
+  std::uint64_t state =
+      seed ^ (static_cast<std::uint64_t>(slot) * 0xd1342543de82ef95ULL) ^
+      ((static_cast<std::uint64_t>(sender) << 32 |
+        static_cast<std::uint64_t>(listener)) *
+       0xaf251af3b0f025b5ULL) ^
+      (static_cast<std::uint64_t>(window) * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t bits = common::splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool in_window(radio::Slot slot, radio::Slot from, radio::Slot to) {
+  return slot >= from && (to == -1 || slot <= to);
+}
+
+}  // namespace
+
+FaultEngine::FaultEngine(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)),
+      drop_seed_(common::derive_seed(common::derive_seed(seed, kDropStream),
+                                     plan_.seed_salt)) {
+  active_jammers_.reserve(plan_.jammers.size());
+}
+
+void FaultEngine::install(radio::Simulator& sim) {
+  const std::string problem = plan_.validate(sim.graph().size());
+  SINRCOLOR_CHECK_MSG(problem.empty(), "invalid fault plan (validate first)");
+  for (const JammerSpec& j : plan_.jammers) {
+    for (graph::NodeId v = 0; v < sim.graph().size(); ++v) {
+      SINRCOLOR_CHECK_MSG(
+          geometry::distance_sq(j.position, sim.graph().position(v)) > 0.0,
+          "jammer coincides with a node position");
+    }
+  }
+  for (const CrashEvent& c : plan_.crashes) {
+    sim.set_failure_slot(c.node, c.slot);
+    if (c.restart != -1) sim.set_join_slot(c.node, c.restart);
+  }
+  sim.set_fault_injector(this);
+}
+
+const radio::ChannelDisturbance* FaultEngine::channel_disturbance(
+    radio::Slot slot) {
+  double factor = 1.0;
+  for (const NoiseWindow& w : plan_.noise) {
+    if (in_window(slot, w.from, w.to)) factor *= w.factor;
+  }
+  active_jammers_.clear();
+  for (const JammerSpec& j : plan_.jammers) {
+    if (j.active(slot)) {
+      active_jammers_.push_back({j.position, j.power, j.radius});
+    }
+  }
+  if (factor == 1.0 && active_jammers_.empty()) return nullptr;
+  if (factor != 1.0) ++stats_.noisy_slots;
+  stats_.jammer_slots += active_jammers_.size();
+  disturbance_.noise_factor = factor;
+  disturbance_.jammers = active_jammers_;
+  return &disturbance_;
+}
+
+bool FaultEngine::receiver_disabled(radio::Slot slot, graph::NodeId v) const {
+  for (const DeafnessWindow& d : plan_.deafness) {
+    if (d.node == v && in_window(slot, d.from, d.to)) return true;
+  }
+  return false;
+}
+
+bool FaultEngine::drop_delivery(radio::Slot slot, graph::NodeId sender,
+                                graph::NodeId listener) const {
+  for (std::size_t i = 0; i < plan_.drops.size(); ++i) {
+    const DropWindow& w = plan_.drops[i];
+    if (!in_window(slot, w.from, w.to) || w.probability <= 0.0) continue;
+    if (hash_uniform(drop_seed_, slot, sender, listener, i) < w.probability) {
+      ++stats_.dropped_deliveries;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sinrcolor::faults

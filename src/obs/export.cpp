@@ -335,6 +335,15 @@ void write_chrome_trace(const TraceMeta& meta,
       case EventKind::kIndependenceViolation:
         instant(e.node, "independence_violation", e.slot, e, true);
         break;
+      case EventKind::kFaultDrop:
+        instant(e.node, "fault_drop", e.slot, e, true);
+        break;
+      case EventKind::kInvariantViolation:
+        instant(e.node, "invariant_violation", e.slot, e, true);
+        break;
+      case EventKind::kConflictRepaired:
+        instant(e.node, "conflict_repaired", e.slot, e, true);
+        break;
     }
   }
   // Close every interval one slot past the last event so terminal states
@@ -402,6 +411,12 @@ std::vector<NodeDigest> build_digest(std::span<const TraceEvent> events,
         ++d.failover_count;
         break;
       case EventKind::kIndependenceViolation:
+        break;
+      case EventKind::kFaultDrop:
+        ++d.drop_count;  // lost delivery, whatever the cause
+        break;
+      case EventKind::kInvariantViolation:
+      case EventKind::kConflictRepaired:
         break;
     }
   }

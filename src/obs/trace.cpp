@@ -13,7 +13,8 @@ constexpr const char* kEventKindNames[kEventKindCount] = {
     "failure",        "tx",             "delivery",
     "drop",           "mw_transition",  "join_transition",
     "leader_elected", "color_finalized", "failover",
-    "independence_violation",
+    "independence_violation", "fault_drop", "invariant_violation",
+    "conflict_repaired",
 };
 
 constexpr const char* kMwStateNames[] = {"asleep",     "listening", "competing",

@@ -41,9 +41,15 @@ enum class EventKind : std::uint8_t {
   kColorFinalized,  ///< node decided: b=final color
   kFailover,        ///< self-healing leader failover: a=failover ordinal
   kIndependenceViolation,  ///< peer=conflicting neighbor, b=shared color
+  kFaultDrop,       ///< delivery suppressed by injected fault: peer=sender
+  kInvariantViolation,     ///< runtime monitor: peer=counterpart,
+                           ///< a=invariant id (0 legality, 1 tx-independence,
+                           ///< 2 feasibility), b=offending color
+  kConflictRepaired,       ///< a monitored coloring conflict closed:
+                           ///< peer=counterpart, b=duration in slots
 };
 
-inline constexpr std::size_t kEventKindCount = 13;
+inline constexpr std::size_t kEventKindCount = 16;
 
 /// Stable wire name of the kind ("tx", "mw_transition", ...), used by the
 /// JSONL exporter and the schema checker in tools/lint/.

@@ -15,6 +15,20 @@ std::unique_ptr<common::TaskPool> make_pool(const ResolveOptions& options) {
   return std::make_unique<common::TaskPool>(options.threads);
 }
 
+/// Per-transmitter gain functor covering injected jammers: real transmitters
+/// (index < real) keep unit gain, a jammer's gain scales the medium's base
+/// power to the jammer's own (power · gain = jammer power). Used by the
+/// field path; the naive path applies the identical expression per term.
+struct JammerGain {
+  std::size_t real;
+  std::span<const Jammer> jammers;
+  double base_power;
+
+  double operator()(std::size_t j) const {
+    return j < real ? 1.0 : jammers[j - real].power / base_power;
+  }
+};
+
 }  // namespace
 
 void check_radius_matches_phys(const graph::UnitDiskGraph& graph,
@@ -55,12 +69,31 @@ void SinrInterferenceModel::resolve(
   for (const auto& t : transmissions) {
     txs_.push_back({graph_.position(t.sender)});
   }
-  engine_.resolve_slot(
-      params_, txs_, graph_.index(), graph_.deployment().points, listening,
-      graph_.radius(),
-      [](graph::NodeId /*listener*/) { return sinr::UnitGain{}; }, pool_.get(),
-      decodes_);
+  const std::size_t real = txs_.size();
+  sinr::SinrParams phys = params_;
+  if (disturbance_ != nullptr) {
+    phys.noise *= disturbance_->noise_factor;
+    for (const Jammer& jam : disturbance_->jammers) {
+      txs_.push_back({jam.position});
+    }
+  }
+  if (txs_.size() == real) {
+    engine_.resolve_slot(
+        phys, txs_, graph_.index(), graph_.deployment().points, listening,
+        graph_.radius(),
+        [](graph::NodeId /*listener*/) { return sinr::UnitGain{}; },
+        pool_.get(), decodes_);
+  } else {
+    const JammerGain gain{real, disturbance_->jammers, params_.power};
+    engine_.resolve_slot(
+        phys, txs_, graph_.index(), graph_.deployment().points, listening,
+        graph_.radius(), [gain](graph::NodeId /*listener*/) { return gain; },
+        pool_.get(), decodes_);
+  }
   for (const auto& d : decodes_) {
+    // A "decodable" jammer carries no message — the listener hears only
+    // noise (and the jammer's field already drowned every real sender).
+    if (d.tx >= real) continue;
     SINRCOLOR_CHECK_MSG(!deliveries[d.listener].has_value(),
                         "beta >= 1 forbids two decodable senders");
     deliveries[d.listener] = transmissions[d.tx].message;
@@ -78,20 +111,54 @@ void SinrInterferenceModel::resolve_naive(
   for (const auto& t : transmissions) {
     txs_.push_back({graph_.position(t.sender)});
   }
+  const std::size_t real = txs_.size();
+  sinr::SinrParams phys = params_;
+  if (disturbance_ != nullptr) {
+    phys.noise *= disturbance_->noise_factor;
+    for (const Jammer& jam : disturbance_->jammers) {
+      txs_.push_back({jam.position});
+    }
+  }
+  const JammerGain gain{real, disturbance_ != nullptr
+                                  ? disturbance_->jammers
+                                  : std::span<const Jammer>{},
+                        params_.power};
 
   // Only neighbors of some transmitter can pass the δ ≤ R_T gate, so it
-  // suffices to examine each transmitter's UDG neighborhood.
-  for (std::size_t i = 0; i < transmissions.size(); ++i) {
+  // suffices to examine each transmitter's UDG neighborhood. Jammers are
+  // never decode candidates (i ranges over the real transmitters only) but
+  // contribute to every interference sum.
+  for (std::size_t i = 0; i < real; ++i) {
     const auto sender = transmissions[i].sender;
     for (graph::NodeId u : graph_.neighbors(sender)) {
       if (!listening[u]) continue;
-      const double ratio = sinr::sinr_at(params_, graph_.position(u), txs_, i);
-      if (ratio >= params_.beta) {
+      double ratio;
+      if (txs_.size() == real) {
+        ratio = sinr::sinr_at(phys, graph_.position(u), txs_, i);
+      } else {
+        double signal = 0.0;
+        double interference = 0.0;
+        for (std::size_t j = 0; j < txs_.size(); ++j) {
+          const double d_sq =
+              geometry::distance_sq(graph_.position(u), txs_[j].position);
+          SINRCOLOR_CHECK_MSG(d_sq > 0.0,
+                              "transmitter coincides with listener");
+          const double power = phys.power * gain(j) /
+                               sinr::pow_alpha_from_sq(d_sq, phys.alpha);
+          if (j == i) {
+            signal = power;
+          } else {
+            interference += power;
+          }
+        }
+        ratio = signal / (phys.noise + interference);
+      }
+      if (ratio >= phys.beta) {
         SINRCOLOR_CHECK_MSG(!deliveries[u].has_value(),
                             "beta >= 1 forbids two decodable senders");
         deliveries[u] = transmissions[i].message;
         if (margin_histogram_ != nullptr) {
-          margin_histogram_->record(ratio / params_.beta);
+          margin_histogram_->record(ratio / phys.beta);
         }
       }
     }
@@ -116,9 +183,25 @@ void GraphInterferenceModel::resolve(
       candidate_tx_[u] = i;
     }
   }
+  // Injected jammers have no SINR arithmetic under this medium: a listener
+  // within a jammer's blocking radius (plan radius, or R_T when unset)
+  // simply decodes nothing this slot.
+  const std::span<const Jammer> jammers =
+      disturbance_ != nullptr ? disturbance_->jammers
+                              : std::span<const Jammer>{};
+  const auto jammed = [&](graph::NodeId u) {
+    for (const Jammer& jam : jammers) {
+      const double r = jam.radius > 0.0 ? jam.radius : graph_.radius();
+      if (geometry::distance_sq(graph_.position(u), jam.position) <= r * r) {
+        return true;
+      }
+    }
+    return false;
+  };
   for (const auto& t : transmissions) {
     for (graph::NodeId u : graph_.neighbors(t.sender)) {
-      if (listening[u] && covering_[u] == 1 && !deliveries[u].has_value()) {
+      if (listening[u] && covering_[u] == 1 && !deliveries[u].has_value() &&
+          (jammers.empty() || !jammed(u))) {
         deliveries[u] = transmissions[candidate_tx_[u]].message;
       }
     }
@@ -160,19 +243,36 @@ void FadingSinrInterferenceModel::resolve(
     txs_.push_back({graph_.position(t.sender)});
     tx_ids_.push_back(t.sender);
   }
-  // Per-listener gain closure: every transmitter's contribution to F(u) is
-  // scaled by its (seed, slot, link)-keyed fade, signal and interference
-  // alike — identical arithmetic to the naive per-pair loop.
+  const std::size_t real = txs_.size();
+  sinr::SinrParams phys = params_;
+  if (disturbance_ != nullptr) {
+    phys.noise *= disturbance_->noise_factor;
+    for (const Jammer& jam : disturbance_->jammers) {
+      txs_.push_back({jam.position});
+    }
+  }
+  const JammerGain jammer_gain{real, disturbance_ != nullptr
+                                         ? disturbance_->jammers
+                                         : std::span<const Jammer>{},
+                               params_.power};
+  // Per-listener gain closure: every REAL transmitter's contribution to
+  // F(u) is scaled by its (seed, slot, link)-keyed fade, signal and
+  // interference alike — identical arithmetic to the naive per-pair loop.
+  // Jammers ride along unfaded (they carry no node id to key a fade draw;
+  // docs/ROBUSTNESS.md).
   engine_.resolve_slot(
-      params_, txs_, graph_.index(), graph_.deployment().points, listening,
+      phys, txs_, graph_.index(), graph_.deployment().points, listening,
       graph_.radius(),
-      [this, slot](graph::NodeId listener) {
-        return [this, slot, listener](std::size_t j) {
-          return sinr::fade_factor(fading_, slot, listener, tx_ids_[j]);
+      [this, slot, real, jammer_gain](graph::NodeId listener) {
+        return [this, slot, listener, real, jammer_gain](std::size_t j) {
+          return j < real
+                     ? sinr::fade_factor(fading_, slot, listener, tx_ids_[j])
+                     : jammer_gain(j);
         };
       },
       pool_.get(), decodes_);
   for (const auto& d : decodes_) {
+    if (d.tx >= real) continue;  // a jammer "decode" is noise, not a message
     SINRCOLOR_CHECK_MSG(!deliveries[d.listener].has_value(),
                         "beta >= 1 forbids two decodable senders");
     deliveries[d.listener] = transmissions[d.tx].message;
@@ -186,29 +286,40 @@ void FadingSinrInterferenceModel::resolve_naive(
     Slot slot, const std::vector<TxRecord>& transmissions,
     const std::vector<bool>& listening,
     std::vector<std::optional<Message>>& deliveries) const {
+  const std::size_t real = transmissions.size();
+  sinr::SinrParams phys = params_;
+  const std::span<const Jammer> jammers =
+      disturbance_ != nullptr ? disturbance_->jammers
+                              : std::span<const Jammer>{};
+  if (disturbance_ != nullptr) phys.noise *= disturbance_->noise_factor;
   // The δ ≤ R_T gate is implied by iterating UDG neighborhoods.
-  for (std::size_t i = 0; i < transmissions.size(); ++i) {
+  for (std::size_t i = 0; i < real; ++i) {
     const auto sender = transmissions[i].sender;
     for (graph::NodeId u : graph_.neighbors(sender)) {
       if (!listening[u]) continue;
-      // Faded received powers of every transmitter at listener u.
+      // Faded received powers of every transmitter at listener u; jammers
+      // (unfaded, own power) join every interference sum.
       double signal = 0.0;
       double interference = 0.0;
-      for (std::size_t j = 0; j < transmissions.size(); ++j) {
-        const auto other = transmissions[j].sender;
-        const double d_sq =
-            geometry::distance_sq(graph_.position(u), graph_.position(other));
+      for (std::size_t j = 0; j < real + jammers.size(); ++j) {
+        const geometry::Point pos = j < real
+                                        ? graph_.position(transmissions[j].sender)
+                                        : jammers[j - real].position;
+        const double d_sq = geometry::distance_sq(graph_.position(u), pos);
         SINRCOLOR_CHECK_MSG(d_sq > 0.0, "transmitter coincides with listener");
-        const double gain = sinr::fade_factor(fading_, slot, u, other);
+        const double gain =
+            j < real
+                ? sinr::fade_factor(fading_, slot, u, transmissions[j].sender)
+                : jammers[j - real].power / params_.power;
         const double power =
-            params_.power * gain / sinr::pow_alpha_from_sq(d_sq, params_.alpha);
+            phys.power * gain / sinr::pow_alpha_from_sq(d_sq, phys.alpha);
         if (j == i) {
           signal = power;
         } else {
           interference += power;
         }
       }
-      const double threshold = params_.beta * (params_.noise + interference);
+      const double threshold = phys.beta * (phys.noise + interference);
       if (signal >= threshold) {
         SINRCOLOR_CHECK_MSG(!deliveries[u].has_value(),
                             "beta >= 1 forbids two decodable senders");

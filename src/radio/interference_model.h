@@ -24,6 +24,7 @@
 #include "common/task_pool.h"
 #include "graph/unit_disk_graph.h"
 #include "obs/metrics.h"
+#include "radio/fault_injection.h"
 #include "radio/message.h"
 #include "sinr/fading.h"
 #include "sinr/field_engine.h"
@@ -67,8 +68,19 @@ class InterferenceModel {
     margin_histogram_ = histogram;
   }
 
+  /// The channel-level disturbance of the NEXT resolve (set by the simulator
+  /// each slot when a fault injector is installed; null = clean channel).
+  /// SINR media scale the noise floor by noise_factor and inject every
+  /// jammer into the interference field (both resolve paths, delivery-
+  /// equivalent); the graph medium blanks listeners inside a jammer's
+  /// blocking radius. The pointed-to data must stay valid through resolve().
+  void set_disturbance(const ChannelDisturbance* disturbance) {
+    disturbance_ = disturbance;
+  }
+
  protected:
   obs::Histogram* margin_histogram_ = nullptr;
+  const ChannelDisturbance* disturbance_ = nullptr;
 };
 
 class SinrInterferenceModel final : public InterferenceModel {

@@ -59,6 +59,14 @@ void Simulator::set_join_slot(graph::NodeId v, Slot slot) {
   join_slot_[v] = slot;
 }
 
+void Simulator::set_fault_injector(FaultInjector* injector) {
+  SINRCOLOR_CHECK_MSG(!ran_, "install the fault injector before run()");
+  fault_injector_ = injector;
+  if (injector != nullptr) {
+    scratch_.fault_dropped.assign(graph_.size(), 0);
+  }
+}
+
 void Simulator::set_observation(obs::RunObservation* observation) {
   SINRCOLOR_CHECK_MSG(!ran_, "attach observation before run()");
   observation_ = observation;
@@ -123,10 +131,18 @@ RunMetrics Simulator::run(Slot max_slots) {
         (failure_slot_[v] < 0 || failure_slot_[v] >= join_slot_[v]) ? 1 : 0;
   }
 
-  for (Slot slot = 0; slot < max_slots && (undecided > 0 || joins_pending > 0);
+  Slot settle_left = settle_slots_;
+  for (Slot slot = 0; slot < max_slots &&
+                      (undecided > 0 || joins_pending > 0 || settle_left > 0);
        ++slot) {
     metrics.slots_executed = slot + 1;
     const std::uint64_t allocs_at_slot_start = common::thread_heap_allocs();
+
+    // 0. Channel-level faults: one disturbance query per slot, forwarded to
+    // the medium (null = clean channel, the zero-cost common case).
+    if (fault_injector_ != nullptr) {
+      model_->set_disturbance(fault_injector_->channel_disturbance(slot));
+    }
 
     // 1. Failures, joins, wake-ups and transmission decisions.
     transmissions.clear();
@@ -193,6 +209,15 @@ RunMetrics Simulator::run(Slot max_slots) {
                         static_cast<std::int32_t>(tx->kind), tx->color_class);
       } else {
         listening[v] = true;
+        // Transient deafness: the receiver is off, but the node still ran
+        // its slot (protocol state and the interference field are
+        // unaffected — deafness is a pure receiver fault).
+        if (fault_injector_ != nullptr &&
+            fault_injector_->receiver_disabled(slot,
+                                               static_cast<graph::NodeId>(v))) {
+          listening[v] = false;
+          ++metrics.fault_deaf_slots;
+        }
       }
     }
     metrics.total_transmissions += transmissions.size();
@@ -210,6 +235,25 @@ RunMetrics Simulator::run(Slot max_slots) {
     if (!transmissions.empty()) {
       std::fill(deliveries.begin(), deliveries.end(), std::nullopt);
       model_->resolve(slot, transmissions, listening, deliveries);
+      // Per-link fault drops: an otherwise successful decode is suppressed
+      // before the protocol sees it. Attributed to the fault (kFaultDrop),
+      // not to interference (excluded from the kDrop pass below).
+      if (fault_injector_ != nullptr) {
+        auto& fault_dropped = scratch_.fault_dropped;
+        for (std::size_t v = 0; v < n; ++v) {
+          if (!deliveries[v].has_value()) continue;
+          const graph::NodeId listener = static_cast<graph::NodeId>(v);
+          if (fault_injector_->drop_delivery(slot, deliveries[v]->sender,
+                                             listener)) {
+            SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kFaultDrop, listener,
+                            deliveries[v]->sender,
+                            static_cast<std::int32_t>(deliveries[v]->kind));
+            deliveries[v].reset();
+            fault_dropped[v] = 1;
+            ++metrics.fault_dropped_deliveries;
+          }
+        }
+      }
       for (std::size_t v = 0; v < n; ++v) {
         if (deliveries[v].has_value()) {
           SINRCOLOR_DCHECK(listening[v]);
@@ -228,6 +272,9 @@ RunMetrics Simulator::run(Slot max_slots) {
         for (const TxRecord& t : transmissions) {
           for (graph::NodeId u : graph_.neighbors(t.sender)) {
             if (!listening[u] || deliveries[u].has_value()) continue;
+            if (fault_injector_ != nullptr && scratch_.fault_dropped[u]) {
+              continue;  // lost to the injected fault, already traced
+            }
             if (cover_count[u] == 0) {
               covered.push_back(u);
               cover_sample[u] = t.sender;
@@ -243,6 +290,10 @@ RunMetrics Simulator::run(Slot max_slots) {
         }
         if (drop_counter != nullptr) drop_counter->add(covered.size());
       }
+      if (fault_injector_ != nullptr) {
+        std::fill(scratch_.fault_dropped.begin(), scratch_.fault_dropped.end(),
+                  std::uint8_t{0});
+      }
     }
 
     // 3. End-of-slot transitions and decision tracking.
@@ -253,6 +304,17 @@ RunMetrics Simulator::run(Slot max_slots) {
         metrics.decision_slot[v] = slot;
         --undecided;
       }
+    }
+    // This slot's state (colors, decisions) is now final: run the
+    // end-of-slot observers (runtime invariant monitor).
+    for (const auto& observer : end_observers_) observer(slot);
+
+    // Settle window: count down only while the run is quiescent; any
+    // pending work (a revival re-incrementing `undecided`) rearms it.
+    if (undecided == 0 && joins_pending == 0) {
+      if (settle_left > 0) --settle_left;
+    } else {
+      settle_left = settle_slots_;
     }
 
     // Allocation attribution: a slot that allocated cannot be steady-state.
@@ -281,6 +343,10 @@ RunMetrics Simulator::run(Slot max_slots) {
         .add(static_cast<std::uint64_t>(metrics.failed_nodes));
     m.counter("radio.joins")
         .add(static_cast<std::uint64_t>(metrics.joined_nodes));
+    if (fault_injector_ != nullptr) {
+      m.counter("radio.fault_drops").add(metrics.fault_dropped_deliveries);
+      m.counter("radio.fault_deaf_slots").add(metrics.fault_deaf_slots);
+    }
   }
   return metrics;
 }

@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "graph/unit_disk_graph.h"
 #include "obs/observation.h"
+#include "radio/fault_injection.h"
 #include "radio/interference_model.h"
 #include "radio/protocol.h"
 #include "radio/trace.h"
@@ -32,6 +33,11 @@ class Simulator {
   /// asleep/non-transmitting states), supplied by protocols that expose it.
   using SlotObserver =
       std::function<void(Slot, std::span<const TxRecord>)>;
+
+  /// Observer invoked at the very end of each slot, after every protocol's
+  /// end_slot and decision tracking — the point where this slot's state
+  /// (colors, decisions) is final. Used by the runtime invariant monitor.
+  using EndSlotObserver = std::function<void(Slot)>;
 
   Simulator(const graph::UnitDiskGraph& graph,
             std::unique_ptr<InterferenceModel> model, WakeupSchedule wakeups,
@@ -72,6 +78,28 @@ class Simulator {
     observers_.push_back(std::move(observer));
   }
 
+  void add_end_observer(EndSlotObserver observer) {
+    end_observers_.push_back(std::move(observer));
+  }
+
+  /// Installs a fault injector (src/faults' FaultEngine; non-owning, must
+  /// outlive run()). Per slot the simulator queries the channel disturbance
+  /// once and forwards it to the interference model, silences deafened
+  /// receivers, and suppresses per-link drops after reception resolution
+  /// (traced as kFaultDrop, counted in RunMetrics::fault_dropped_deliveries).
+  /// Null detaches. Call before run().
+  void set_fault_injector(FaultInjector* injector);
+
+  /// True iff node v is currently dead (crashed and not revived). Valid
+  /// during and after run(); used by end-of-slot observers that must ignore
+  /// dead nodes' stale state.
+  bool node_dead(graph::NodeId v) const { return scratch_.dead[v] != 0; }
+
+  /// True iff node v's radio is on (woken and not dead).
+  bool node_awake(graph::NodeId v) const {
+    return scratch_.awake[v] != 0 && scratch_.dead[v] == 0;
+  }
+
   /// Attaches trace + metrics sinks (obs/observation.h). The simulator then
   /// emits wake/join/revival/failure, tx/delivery/drop events and registers
   /// the radio.* counters and per-slot histograms; the interference model
@@ -82,8 +110,17 @@ class Simulator {
 
   obs::RunObservation* observation() const { return observation_; }
 
-  /// Runs until every protocol reports decided() or `max_slots` elapse.
-  /// May be called once per simulator instance.
+  /// After every protocol has decided (and no joins are pending), keep the
+  /// slot loop running this many extra slots before run() returns — air
+  /// time for post-decision watches (late-conflict repair under injected
+  /// message loss). A join or revival during the window resets it. 0 (the
+  /// default) stops at the first all-decided slot, the original behavior.
+  /// Call before run().
+  void set_settle_slots(Slot settle) { settle_slots_ = settle; }
+
+  /// Runs until every protocol reports decided() (plus the settle window,
+  /// when one is set) or `max_slots` elapse. May be called once per
+  /// simulator instance.
   RunMetrics run(Slot max_slots);
 
   const graph::UnitDiskGraph& graph() const { return graph_; }
@@ -110,6 +147,10 @@ class Simulator {
     std::vector<std::uint32_t> cover_count;
     std::vector<graph::NodeId> cover_sample;
     std::vector<graph::NodeId> covered;
+    // Listeners whose delivery a fault injector suppressed this slot
+    // (excluded from kDrop collision attribution — the loss is attributed
+    // to the fault, not to interference). Maintained only with an injector.
+    std::vector<std::uint8_t> fault_dropped;
   };
 
   const graph::UnitDiskGraph& graph_;
@@ -120,8 +161,11 @@ class Simulator {
   std::vector<std::unique_ptr<Protocol>> protocols_;
   std::vector<common::Rng> rngs_;
   std::vector<SlotObserver> observers_;
+  std::vector<EndSlotObserver> end_observers_;
   SlotScratch scratch_;
   obs::RunObservation* observation_ = nullptr;
+  FaultInjector* fault_injector_ = nullptr;
+  Slot settle_slots_ = 0;
   bool ran_ = false;
 };
 

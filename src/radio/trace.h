@@ -24,6 +24,12 @@ struct RunMetrics {
   std::size_t stalled_nodes = 0;
   /// Dynamic-join events fired (late arrivals plus revivals).
   std::size_t joined_nodes = 0;
+  /// Deliveries suppressed by an installed fault injector (per-link drops);
+  /// 0 without one.
+  std::uint64_t fault_dropped_deliveries = 0;
+  /// (node, slot) pairs in which a fault injector disabled a receiver that
+  /// would otherwise have listened; 0 without one.
+  std::uint64_t fault_deaf_slots = 0;
   /// Per-node slot of decision (relative to slot 0), -1 if undecided.
   std::vector<Slot> decision_slot;
   /// Per-node slot of death, -1 if alive at the end (revivals reset it).

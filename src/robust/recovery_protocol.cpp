@@ -74,6 +74,9 @@ core::MwRunResult RecoveryInstance::run() {
 
   core::MwRunResult result;
   result.params = params_;
+  // Post-decision settle window: air time for the late-conflict watch
+  // after the last decision (0 keeps the original stop-on-decided exit).
+  simulator_->set_settle_slots(rec.settle_slots);
   result.metrics = simulator_->run(horizon);
 
   const std::size_t n = graph_.size();
@@ -113,9 +116,11 @@ core::MwRunResult RecoveryInstance::run() {
     const SelfHealingNode& node = *nodes_[v];
     stats.failovers += node.failovers();
     stats.join_conflicts_repaired += node.conflicts_repaired();
+    stats.late_conflicts_repaired += node.late_conflicts_repaired();
     if (node.is_joiner() && node.fell_back_to_full_protocol()) {
       ++stats.join_fallbacks;
     }
+    if (node.degraded()) ++stats.degraded_nodes;
     if (node.failovers() > 0 && node.decided() &&
         result.metrics.decision_slot[v] >= 0) {
       ++stats.recovered_nodes;
@@ -135,6 +140,8 @@ core::MwRunResult RecoveryInstance::run() {
     m.counter("robust.join_fallbacks").add(stats.join_fallbacks);
     m.counter("robust.join_conflicts_repaired")
         .add(stats.join_conflicts_repaired);
+    m.counter("robust.late_conflicts_repaired")
+        .add(stats.late_conflicts_repaired);
   }
   return result;
 }

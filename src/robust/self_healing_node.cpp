@@ -49,6 +49,7 @@ void SelfHealingNode::transition_to(JoinPhase next) {
 
 void SelfHealingNode::start_inner(radio::Slot slot) {
   inner_ = std::make_unique<core::MwNode>(id_, params_);
+  inner_->set_retransmit_policy(options_.retransmit);
   inner_->set_observation(observation_);
   inner_->on_wake(slot);
   requesting_since_ = -1;
@@ -62,6 +63,7 @@ void SelfHealingNode::on_wake(radio::Slot slot) {
   // restarts from scratch, forgetting any pre-crash protocol state.
   transition_to(JoinPhase::kInactive);
   join_fallback_ = false;
+  degraded_ = false;
   confirmed_once_ = false;
   join_color_ = graph::kUncolored;
   heard_colors_.clear();
@@ -95,6 +97,51 @@ void SelfHealingNode::fail_over(radio::Slot slot) {
   last_leader_heard_ = -1;
 }
 
+void SelfHealingNode::degrade(radio::Slot slot) {
+  // The leader keeps vanishing (or is jammed beyond reach) and the failover
+  // budget is spent: stop stalling, pick a provisional color from the
+  // beacons overheard so far and confirm it on the fast-join path — its
+  // collision watch and local repair keep the provisional color legal.
+  SINRCOLOR_CHECK(!degraded_ && options_.degrade_to_provisional);
+  degraded_ = true;
+  inner_.reset();
+  join_color_ = pick_free_color();
+  transition_to(JoinPhase::kConfirming);  // kInactive → kConfirming edge
+  confirm_remaining_ =
+      options_.join_confirm_slots > 0
+          ? options_.join_confirm_slots
+          : static_cast<radio::Slot>(params_.window_positive);
+  if (observation_ != nullptr) {
+    observation_->trace.record(slot, obs::EventKind::kFailover, id_,
+                               obs::kNoNode,
+                               static_cast<std::int32_t>(failovers_),
+                               static_cast<std::int64_t>(join_color_));
+    observation_->metrics.counter("robust.degraded").add();
+  }
+}
+
+void SelfHealingNode::repair_collision(radio::Slot slot) {
+  SINRCOLOR_CHECK(inner_ != nullptr && inner_->decided());
+  ++late_conflicts_repaired_;
+  // The conflicting color is already in heard_colors_ (the palette update
+  // runs before the watch), so pick_free_color avoids it; any further
+  // collision the stale palette causes is caught by the confirm-phase
+  // watch and repaired the same way.
+  inner_.reset();
+  join_color_ = pick_free_color();
+  confirmed_once_ = true;  // the repair is local; the node stays decided
+  transition_to(JoinPhase::kConfirming);  // kInactive → kConfirming edge
+  confirm_remaining_ =
+      options_.join_confirm_slots > 0
+          ? options_.join_confirm_slots
+          : static_cast<radio::Slot>(params_.window_positive);
+  if (observation_ != nullptr) {
+    observation_->trace.record(slot, obs::EventKind::kColorFinalized, id_,
+                               obs::kNoNode, 1,
+                               static_cast<std::int64_t>(join_color_));
+  }
+}
+
 std::optional<radio::Message> SelfHealingNode::begin_slot(radio::Slot slot,
                                                           common::Rng& rng) {
   SINRCOLOR_CHECK_MSG(join_phase_ != JoinPhase::kInactive || inner_ != nullptr,
@@ -107,9 +154,13 @@ std::optional<radio::Message> SelfHealingNode::begin_slot(radio::Slot slot,
   if (options_.enabled && inner_->state() == core::MwStateKind::kRequesting) {
     if (requesting_since_ < 0) requesting_since_ = slot;
     const radio::Slot last_signal = std::max(requesting_since_, last_leader_heard_);
-    if (slot - last_signal > suspect_timeout_ &&
-        failovers_ < options_.max_failovers) {
-      fail_over(slot);
+    if (slot - last_signal > suspect_timeout_) {
+      if (failovers_ < options_.max_failovers) {
+        fail_over(slot);
+      } else if (options_.degrade_to_provisional) {
+        degrade(slot);
+        return join_begin_slot(slot, rng);
+      }
     }
   } else {
     requesting_since_ = -1;
@@ -134,6 +185,38 @@ void SelfHealingNode::on_receive(radio::Slot slot, const radio::Message& msg) {
     return;
   }
   if (msg.sender == inner_->leader()) last_leader_heard_ = slot;
+  if (options_.enabled || options_.degrade_to_provisional) {
+    // Keep the overheard palette current so degrade() and the late-conflict
+    // repair have colors to avoid. Opt-in: the set insert allocates, which
+    // the plain protocol's zero-allocation slot loop must not
+    // (docs/PERFORMANCE.md); recovery runs sit outside that gate.
+    switch (msg.kind) {
+      case radio::MessageKind::kColorBeacon:
+      case radio::MessageKind::kJoinBeacon:
+        note_heard_color(msg.color_class);
+        break;
+      case radio::MessageKind::kColorAssign:
+        note_heard_color(0);  // the sender is a leader
+        break;
+      case radio::MessageKind::kCompete:
+      case radio::MessageKind::kRequest:
+        break;
+    }
+  }
+  // Post-decision conflict watch: two established nodes holding the same
+  // color is a safety violation that injected message loss can let through
+  // (each missed the other's traffic while deciding). The perpetual q_s
+  // color beacons expose it; on hearing our own color from a LOWER-id
+  // neighbor we yield and re-pick locally, so exactly one side of any
+  // conflicting pair moves. Leaders are exempt: color 0 carries cluster
+  // duties, and leader independence is the MIS invariant, not locally
+  // repairable.
+  if (options_.enabled && inner_->state() == core::MwStateKind::kColored &&
+      msg.kind == radio::MessageKind::kColorBeacon &&
+      msg.color_class == inner_->final_color() && msg.sender < id_) {
+    repair_collision(slot);
+    return;
+  }
   inner_->on_receive(slot, msg);
 }
 

@@ -57,9 +57,17 @@ class SelfHealingNode final : public radio::Protocol {
   /// True while the fast-join path is active (false after a fallback).
   bool fast_join_active() const { return join_phase_ != JoinPhase::kInactive; }
   bool fell_back_to_full_protocol() const { return join_fallback_; }
+  /// True once the node gave up on the MW protocol and fell back to a
+  /// provisional color (degrade_to_provisional after max_failovers).
+  bool degraded() const { return degraded_; }
   std::size_t failovers() const { return failovers_; }
   radio::Slot first_failover_slot() const { return first_failover_slot_; }
   std::size_t conflicts_repaired() const { return conflicts_repaired_; }
+  /// Post-decision collisions detected while ESTABLISHED (a lower-id
+  /// neighbor beaconing our color) and repaired via the fast-join path.
+  std::size_t late_conflicts_repaired() const {
+    return late_conflicts_repaired_;
+  }
   /// The wrapped MW node (null while the fast-join path runs).
   const core::MwNode* inner() const { return inner_.get(); }
 
@@ -90,13 +98,18 @@ class SelfHealingNode final : public radio::Protocol {
   ///   any         → kInactive    revival reset on a repeated on_wake, or
   ///                              fallback to the full MW protocol
   ///   kInactive   → kListening   joiner wake: collect neighbor colors
+  ///   kInactive   → kConfirming  graceful degradation: a requester that
+  ///                              exhausted max_failovers abandons the MW
+  ///                              protocol and confirms a provisional color
+  ///                              picked from overheard beacons
+  ///                              (RecoveryOptions::degrade_to_provisional)
   ///   kListening  → kConfirming  listen over, tentative color picked
   ///   kConfirming → kConfirming  collision detected: re-pick, restart window
   ///   kConfirming → kConfirmed   confirmation window survived
   ///   kConfirmed  → kConfirming  late collision: local repair
   static constexpr bool kJoinTransitionTable[kJoinPhaseCount][kJoinPhaseCount] = {
       //                to: inactive listen confirming confirmed
-      /* kInactive   */ {true, true, false, false},
+      /* kInactive   */ {true, true, true, false},
       /* kListening  */ {true, false, true, false},
       /* kConfirming */ {true, false, true, true},
       /* kConfirmed  */ {true, false, true, false},
@@ -113,6 +126,16 @@ class SelfHealingNode final : public radio::Protocol {
   void transition_to(JoinPhase next);
   void start_inner(radio::Slot slot);
   void fail_over(radio::Slot slot);
+  /// Graceful degradation: drop the MW protocol, pick a provisional color
+  /// from overheard beacons and route it through the fast-join confirm path
+  /// (same conflict repair). Fires once, after max_failovers is exhausted.
+  void degrade(radio::Slot slot);
+  /// Late-conflict repair: an established (kColored) node heard a lower-id
+  /// neighbor beacon its own color — a collision that injected message loss
+  /// let through. Re-pick a locally free color and confirm it on the
+  /// fast-join path (kInactive → kConfirming); the node stays decided, so
+  /// the repair is local and bounded by the confirm window.
+  void repair_collision(radio::Slot slot);
   void note_heard_color(graph::Color color);
   graph::Color pick_free_color() const;
   std::optional<radio::Message> join_begin_slot(radio::Slot slot,
@@ -146,9 +169,11 @@ class SelfHealingNode final : public radio::Protocol {
   bool heard_beacon_ = false;      ///< any M_C / M_J during the listen phase
   bool heard_contention_ = false;  ///< any M_A / M_R: neighborhood not converged
   bool join_fallback_ = false;
+  bool degraded_ = false;
   bool confirmed_once_ = false;
   graph::Color join_color_ = graph::kUncolored;
   std::size_t conflicts_repaired_ = 0;
+  std::size_t late_conflicts_repaired_ = 0;
 };
 
 }  // namespace sinrcolor::robust

@@ -292,5 +292,40 @@ TEST(Cli, SeedParsing) {
   EXPECT_EQ(cli.get_seed("seed", 0), 0xdeadULL);
 }
 
+TEST(Cli, AtLeastAcceptsValuesOnOrAboveTheBound) {
+  const char* argv[] = {"prog", "--threads=1", "--side=0.5"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int_at_least("threads", 1, 1), 1);
+  EXPECT_DOUBLE_EQ(cli.get_double_at_least("side", 5.0, 1e-9), 0.5);
+  // Absent flag: the default is returned unchecked — callers own it.
+  EXPECT_EQ(cli.get_int_at_least("absent", -3, 0), -3);
+}
+
+TEST(CliDeathTest, AtLeastRejectsOutOfRangeValues) {
+  // usage_error exits with code 2 and names the offending flag on stderr, so
+  // a typo'd sweep script fails loudly instead of running --threads=0.
+  const char* threads[] = {"prog", "--threads=0"};
+  EXPECT_EXIT(
+      {
+        Cli cli(2, threads);
+        cli.get_int_at_least("threads", 1, 1);
+      },
+      ::testing::ExitedWithCode(2), "--threads must be at least 1, got 0");
+  const char* window[] = {"prog", "--fail-window=-5"};
+  EXPECT_EXIT(
+      {
+        Cli cli(2, window);
+        cli.get_int_at_least("fail-window", 0, 0);
+      },
+      ::testing::ExitedWithCode(2), "--fail-window must be at least 0");
+  const char* side[] = {"prog", "--side=-1"};
+  EXPECT_EXIT(
+      {
+        Cli cli(2, side);
+        cli.get_double_at_least("side", 5.0, 1e-9);
+      },
+      ::testing::ExitedWithCode(2), "--side must be at least");
+}
+
 }  // namespace
 }  // namespace sinrcolor::common

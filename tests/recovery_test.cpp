@@ -218,6 +218,283 @@ TEST(Recovery, SimultaneousAdjacentJoinersResolveTheirCollision) {
   EXPECT_TRUE(graph::find_coloring_violations(g, coloring).empty());
 }
 
+TEST(Recovery, SimultaneousLeaderAndMemberFailureStillConverges) {
+  // Three mutually adjacent nodes; the leader AND one member die in the same
+  // slot while the third is mid-request. The survivor must detect the
+  // silence, re-elect and color itself. Every state mutation in the robust
+  // layer goes through transition_to() against its transition table, so an
+  // illegal transition anywhere in this scenario aborts the test.
+  graph::UnitDiskGraph g(geometry::line_deployment(3, 0.4), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 5;
+  cfg.recovery.enabled = true;
+
+  graph::NodeId leader = graph::kInvalidNode;
+  graph::NodeId member = graph::kInvalidNode;
+  radio::Slot request_entry = -1;
+  {
+    robust::RecoveryInstance probe(g, cfg);
+    const auto& nodes = probe.nodes();
+    probe.simulator().add_observer(
+        [&](radio::Slot slot, std::span<const radio::TxRecord>) {
+          for (graph::NodeId v = 0; v < 3; ++v) {
+            const core::MwNode* inner = nodes[v]->inner();
+            if (request_entry < 0 && inner != nullptr &&
+                inner->state() == core::MwStateKind::kRequesting) {
+              request_entry = slot;
+              member = v;
+            }
+          }
+        });
+    const auto clean = probe.run();
+    ASSERT_TRUE(clean.metrics.all_decided);
+    ASSERT_EQ(clean.leaders.size(), 1u);  // a triangle has one leader
+    leader = clean.leaders.front();
+    ASSERT_GE(request_entry, 0);
+    ASSERT_NE(member, leader);
+  }
+  const graph::NodeId third = 3 - leader - member;
+
+  robust::RecoveryInstance instance(g, cfg);  // same seed ⇒ identical prefix
+  instance.simulator().set_failure_slot(leader, request_entry + 1);
+  instance.simulator().set_failure_slot(third, request_entry + 1);
+  const auto result = instance.run();
+  EXPECT_EQ(result.metrics.failed_nodes, 2u);
+  EXPECT_EQ(result.metrics.stalled_nodes, 0u);
+  EXPECT_TRUE(result.coloring_valid);
+  EXPECT_NE(result.coloring.color[member], graph::kUncolored);
+  EXPECT_GE(instance.nodes()[member]->failovers(), 1u);
+}
+
+TEST(Recovery, FailureMidJoinPhaseLeavesSurvivorsConsistent) {
+  // A joiner dies in the middle of its join automaton (while confirming its
+  // tentative color). The join machinery must wind down through legal
+  // transitions only (transition_to() aborts otherwise) and the survivors'
+  // coloring stays valid and stall-free.
+  graph::UnitDiskGraph g(geometry::line_deployment(3, 0.6), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 11;
+  cfg.recovery.enabled = true;
+  const auto params = core::derive_mw_params(g, cfg);
+  const auto wp = static_cast<radio::Slot>(params.window_positive);
+
+  radio::Simulator sim(g, core::make_interference_model(g, cfg),
+                       core::make_wakeup_schedule(3, cfg), cfg.seed);
+  std::vector<robust::SelfHealingNode*> nodes;
+  for (graph::NodeId v = 0; v < 3; ++v) {
+    auto node = std::make_unique<robust::SelfHealingNode>(
+        v, params, cfg.recovery, /*joiner=*/v == 1);
+    nodes.push_back(node.get());
+    sim.set_protocol(v, std::move(node));
+  }
+  // The ends (mutually out of range) self-elect right after listen +
+  // threshold; the middle node joins the converged network and dies while
+  // beaconing its tentative color (listen phase of the join is 2·window⁺ by
+  // default, so listen + a few slots lands inside the confirm phase).
+  const radio::Slot join_at = static_cast<radio::Slot>(params.listen_slots) +
+                              static_cast<radio::Slot>(params.counter_threshold) +
+                              10;
+  sim.set_join_slot(1, join_at);
+  sim.set_failure_slot(1, join_at + 2 * wp + 3);
+  const auto metrics = sim.run(join_at + 8 * wp + 1000);
+
+  EXPECT_EQ(metrics.joined_nodes, 1u);
+  EXPECT_EQ(metrics.failed_nodes, 1u);
+  EXPECT_EQ(metrics.stalled_nodes, 0u);  // both survivors decided
+  // Both survivors hold colors; every edge of this line involves the dead
+  // joiner, so the live coloring is trivially conflict-free.
+  EXPECT_NE(nodes[0]->final_color(), graph::kUncolored);
+  EXPECT_NE(nodes[2]->final_color(), graph::kUncolored);
+}
+
+TEST(Recovery, ExhaustedFailoversDegradeToProvisionalColor) {
+  // Graceful degradation: with zero failover attempts allowed, a requester
+  // whose leader dies must not stall — it falls back to a provisional color
+  // picked from overheard beacons (the kInactive → kConfirming edge of the
+  // join table) and finishes the run colored.
+  graph::UnitDiskGraph g(geometry::line_deployment(2, 0.5), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 5;
+  cfg.recovery.enabled = true;
+  cfg.recovery.max_failovers = 0;
+  cfg.recovery.degrade_to_provisional = true;
+
+  graph::NodeId leader = graph::kInvalidNode;
+  graph::NodeId member = graph::kInvalidNode;
+  radio::Slot request_entry = -1;
+  {
+    robust::RecoveryInstance probe(g, cfg);
+    const auto& nodes = probe.nodes();
+    probe.simulator().add_observer(
+        [&](radio::Slot slot, std::span<const radio::TxRecord>) {
+          for (graph::NodeId v = 0; v < 2; ++v) {
+            const core::MwNode* inner = nodes[v]->inner();
+            if (request_entry < 0 && inner != nullptr &&
+                inner->state() == core::MwStateKind::kRequesting) {
+              request_entry = slot;
+              member = v;
+            }
+          }
+        });
+    const auto clean = probe.run();
+    ASSERT_TRUE(clean.metrics.all_decided);
+    ASSERT_EQ(clean.leaders.size(), 1u);
+    leader = clean.leaders.front();
+    ASSERT_GE(request_entry, 0);
+    ASSERT_NE(member, leader);
+  }
+
+  robust::RecoveryInstance instance(g, cfg);
+  instance.simulator().set_failure_slot(leader, request_entry + 1);
+  const auto result = instance.run();
+  EXPECT_EQ(result.metrics.stalled_nodes, 0u);
+  EXPECT_TRUE(instance.nodes()[member]->degraded());
+  EXPECT_NE(result.coloring.color[member], graph::kUncolored);
+  EXPECT_EQ(result.recovery.degraded_nodes, 1u);
+  EXPECT_EQ(instance.nodes()[member]->failovers(), 0u);
+  EXPECT_TRUE(result.coloring_valid);
+}
+
+TEST(Recovery, ForcedRetransmissionsFireAndTheRunStaysCorrect) {
+  // Request-path hardening on the PLAIN protocol driver: with a 1-slot
+  // initial wait, any R episode longer than a slot forces deterministic
+  // resends between the q_s coin flips; the run still converges to a valid
+  // coloring.
+  common::Rng rng(44);
+  graph::UnitDiskGraph g(geometry::uniform_deployment(20, 2.0, rng), 1.0);
+  core::MwRunConfig cfg;
+  cfg.seed = 17;
+  cfg.recovery.retransmit.initial_wait = 1;
+  cfg.recovery.retransmit.max_retries = 8;
+  core::MwInstance instance(g, cfg);
+  const auto result = instance.run();
+  ASSERT_TRUE(result.metrics.all_decided);
+  EXPECT_TRUE(graph::find_coloring_violations(g, result.coloring).empty());
+  std::size_t forced = 0;
+  for (const auto& node : instance.nodes()) {
+    forced += node->forced_retransmissions();
+  }
+  EXPECT_GE(forced, 1u);
+}
+
+// Tiny always-transmit parameters (as in mw_node_test) so a wrapped MwNode
+// can be driven to an established decision in a handful of slots.
+core::MwParams tiny_params() {
+  core::MwParams p;
+  p.q_leader = 1.0;
+  p.q_small = 1.0;
+  p.listen_slots = 3;
+  p.counter_threshold = 10;
+  p.window_zero = 2;
+  p.window_positive = 4;
+  p.assign_slots = 2;
+  p.phi_2rt = 5;
+  p.n = 10;
+  p.max_degree = 3;
+  return p;
+}
+
+radio::Message color_beacon(graph::NodeId sender, std::int32_t klass) {
+  radio::Message m;
+  m.kind = radio::MessageKind::kColorBeacon;
+  m.sender = sender;
+  m.color_class = klass;
+  return m;
+}
+
+radio::Message color_assign(graph::NodeId leader, graph::NodeId target,
+                            std::int32_t tc) {
+  radio::Message m;
+  m.kind = radio::MessageKind::kColorAssign;
+  m.sender = leader;
+  m.target = target;
+  m.color_class = 0;
+  m.tc = tc;
+  return m;
+}
+
+// Drives begin/end until the node decides; returns the slot cursor.
+void drive_until_decided(robust::SelfHealingNode& node, radio::Slot& slot,
+                         common::Rng& rng) {
+  while (!node.decided() && slot < 200) {
+    node.begin_slot(slot, rng);
+    node.end_slot(slot);
+    ++slot;
+  }
+  ASSERT_TRUE(node.decided());
+}
+
+TEST(Recovery, EstablishedNodeRepairsLateCollisionFromLowerIdNeighbor) {
+  // Direct drive to kColored: listen, a leader beacon puts the node in R,
+  // an assignment sends it through class tc·(φ(2R_T)+1) = 6 to kColored.
+  const core::MwParams params = tiny_params();
+  core::RecoveryOptions options;
+  options.enabled = true;
+  robust::SelfHealingNode node(5, params, options, /*joiner=*/false);
+  common::Rng rng(7);
+  radio::Slot slot = 0;
+  node.on_wake(slot);
+  node.begin_slot(slot, rng);
+  node.on_receive(slot, color_beacon(1, 0));  // a leader covers us → R
+  node.end_slot(slot);
+  ++slot;
+  node.begin_slot(slot, rng);
+  node.on_receive(slot, color_assign(1, 5, 1));  // grant → class 6
+  node.end_slot(slot);
+  ++slot;
+  drive_until_decided(node, slot, rng);
+  ASSERT_NE(node.inner(), nullptr);
+  ASSERT_EQ(node.inner()->state(), core::MwStateKind::kColored);
+  ASSERT_EQ(node.final_color(), 6);
+
+  // A HIGHER-id neighbor claiming our color is its problem, not ours.
+  node.on_receive(slot, color_beacon(9, 6));
+  EXPECT_EQ(node.final_color(), 6);
+  EXPECT_EQ(node.late_conflicts_repaired(), 0u);
+
+  // A LOWER-id neighbor claiming it forces the local repair: re-pick the
+  // smallest overheard-free color (heard {0, 6} → 1) on the fast-join
+  // path, staying decided throughout.
+  node.on_receive(slot, color_beacon(2, 6));
+  EXPECT_EQ(node.late_conflicts_repaired(), 1u);
+  EXPECT_TRUE(node.decided());
+  EXPECT_TRUE(node.fast_join_active());
+  EXPECT_EQ(node.final_color(), 1);
+
+  // The re-confirmation window beacons the repaired color as M_J and the
+  // confirm-phase watch keeps working: a further collision re-picks again.
+  const auto tx = node.begin_slot(slot, rng);
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(tx->kind, radio::MessageKind::kJoinBeacon);
+  EXPECT_EQ(tx->color_class, 1);
+  node.on_receive(slot, color_beacon(0, 1));
+  node.end_slot(slot);
+  ++slot;
+  EXPECT_EQ(node.final_color(), 2);  // heard {0, 1, 6} → 2
+  EXPECT_TRUE(node.decided());
+}
+
+TEST(Recovery, LeaderIsExemptFromTheLateConflictWatch) {
+  // Color 0 carries cluster duties; two adjacent leaders are an MIS
+  // violation the local repair must not "fix" by abandoning leadership.
+  const core::MwParams params = tiny_params();
+  core::RecoveryOptions options;
+  options.enabled = true;
+  robust::SelfHealingNode node(5, params, options, /*joiner=*/false);
+  common::Rng rng(7);
+  radio::Slot slot = 0;
+  node.on_wake(slot);
+  drive_until_decided(node, slot, rng);  // unopposed class 0 → kLeader
+  ASSERT_NE(node.inner(), nullptr);
+  ASSERT_EQ(node.inner()->state(), core::MwStateKind::kLeader);
+  ASSERT_EQ(node.final_color(), 0);
+
+  node.on_receive(slot, color_beacon(2, 0));
+  EXPECT_EQ(node.final_color(), 0);
+  EXPECT_EQ(node.late_conflicts_repaired(), 0u);
+  EXPECT_FALSE(node.fast_join_active());
+}
+
 TEST(Recovery, JoinersAfterConvergenceKeepTheColoringValid) {
   // End-to-end through the driver: 10% of a 40-node network arrives after
   // convergence; every joiner ends colored and the live coloring stays valid.

@@ -41,6 +41,9 @@ EVENT_KINDS = {
     "color_finalized",
     "failover",
     "independence_violation",
+    "fault_drop",
+    "invariant_violation",
+    "conflict_repaired",
 }
 EVENT_KEYS = {"slot", "kind", "node", "peer", "a", "b"}
 MW_STATES = range(0, 6)      # MwStateKind

@@ -4,8 +4,8 @@
 //                          [--rho=..] [--profile=practical|theory]
 //   sinrcolor_cli color    [--n=..] [--side=..] [--seed=..] [--deployment=..]
 //                          [--wakeup=sync|uniform] [--resolve=field|naive]
-//                          [--threads=..] [--trials=..] [--json=out.json]
-//                          [--quiet]
+//                          [--threads=..] [--trials=..] [--faults=plan.json]
+//                          [--json=out.json] [--quiet]
 //   sinrcolor_cli sweep    [--n-list=64,128,..] [--trials=..] [--threads=..]
 //                          [--avg-degree=..] [--seed=..] [--resolve=..]
 //                          [--shared-topology] [--csv=out.csv] [--quiet]
@@ -14,6 +14,8 @@
 //   sinrcolor_cli recover  [--n=..] [--side=..] [--seed=..] [--deployment=..]
 //                          [--fail-fraction=..] [--fail-window=..]
 //                          [--join-fraction=..] [--join-at=..] [--join-window=..]
+//                          [--retransmit-wait=..] [--retransmit-retries=..]
+//                          [--degrade] [--faults=plan.json]
 //                          [--resolve=field|naive] [--threads=..]
 //                          [--json=out.json] [--quiet]
 //   sinrcolor_cli trace record   [--scenario=color|recover] [graph flags]
@@ -34,7 +36,10 @@
 // row per size; `mac` builds the Theorem-3 TDMA schedule and audits
 // it; `simulate` runs a message-passing algorithm over the simulated MAC;
 // `recover` runs the self-healing protocol (src/robust) under crash-stop
-// failures and/or dynamic joins and reports the recovery metrics; `trace`
+// failures and/or dynamic joins and reports the recovery metrics; with
+// `--faults=plan.json` (color/recover) a declarative fault plan
+// (docs/ROBUSTNESS.md) is injected and the runtime invariant monitor
+// reports conflicts and their repair; `trace`
 // records a run as a structured event trace (src/obs) and analyzes recorded
 // traces: filtered event queries, per-node lifecycle digests and the
 // state-population timeline, all reconstructed purely from the trace file.
@@ -56,6 +61,9 @@
 #include "core/mw_protocol.h"
 #include "core/report.h"
 #include "core/timeline.h"
+#include "faults/fault_engine.h"
+#include "faults/fault_plan.h"
+#include "faults/invariant_monitor.h"
 #include "geometry/deployment.h"
 #include "graph/graph_algos.h"
 #include "graph/topology_cache.h"
@@ -80,8 +88,8 @@ using namespace sinrcolor;
 }
 
 graph::UnitDiskGraph build_graph(const common::Cli& cli) {
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 200));
-  const double side = cli.get_double("side", 5.0);
+  const auto n = static_cast<std::size_t>(cli.get_int_at_least("n", 200, 1));
+  const double side = cli.get_double_at_least("side", 5.0, 1e-9);
   const auto seed = cli.get_seed("seed", 1);
   const std::string kind = cli.get("deployment", "uniform");
   common::Rng rng(seed);
@@ -98,7 +106,7 @@ graph::UnitDiskGraph build_graph(const common::Cli& cli) {
     std::fprintf(stderr, "unknown --deployment=%s\n", kind.c_str());
     std::exit(2);
   }
-  return {std::move(dep), cli.get_double("radius", 1.0)};
+  return {std::move(dep), cli.get_double_at_least("radius", 1.0, 1e-9)};
 }
 
 sinr::SinrParams phys_for(const graph::UnitDiskGraph& g) {
@@ -117,12 +125,47 @@ void apply_resolve_flags(const common::Cli& cli, core::MwRunConfig& cfg) {
                  resolve.c_str());
     std::exit(2);
   }
-  const std::int64_t threads = cli.get_int("threads", 1);
-  if (threads < 1) {
-    std::fprintf(stderr, "--threads must be >= 1\n");
+  cfg.threads = static_cast<std::size_t>(cli.get_int_at_least("threads", 1, 1));
+}
+
+/// Loads --faults=<plan.json> when present; exits 2 with the parse /
+/// validation error otherwise (a typo'd plan must not silently run clean).
+std::optional<faults::FaultPlan> load_fault_plan(const common::Cli& cli,
+                                                 const graph::UnitDiskGraph& g) {
+  const std::string path = cli.get("faults", "");
+  if (path.empty()) return std::nullopt;
+  faults::FaultPlan plan;
+  std::string error;
+  if (!faults::FaultPlan::load(path, plan, &error)) {
+    std::fprintf(stderr, "--faults: %s\n", error.c_str());
     std::exit(2);
   }
-  cfg.threads = static_cast<std::size_t>(threads);
+  const std::string problem = plan.validate(g.size());
+  if (!problem.empty()) {
+    std::fprintf(stderr, "--faults: %s\n", problem.c_str());
+    std::exit(2);
+  }
+  return plan;
+}
+
+/// Prints the fault-injection activity and the invariant monitor's verdict.
+void print_fault_summary(const radio::RunMetrics& metrics,
+                         const faults::FaultEngine& engine,
+                         const faults::InvariantMonitor& monitor) {
+  const auto inv = monitor.report();
+  std::printf("faults: drops=%llu deaf_slots=%llu jammer_slots=%llu "
+              "noisy_slots=%llu\n",
+              static_cast<unsigned long long>(
+                  metrics.fault_dropped_deliveries),
+              static_cast<unsigned long long>(metrics.fault_deaf_slots),
+              static_cast<unsigned long long>(engine.stats().jammer_slots),
+              static_cast<unsigned long long>(engine.stats().noisy_slots));
+  std::printf("invariants: conflicts=%zu repaired=%zu open=%zu "
+              "tx_independence=%zu feasibility=%zu max_conflict_slots=%lld\n",
+              inv.legality_violations, inv.conflicts_repaired,
+              inv.open_conflicts, inv.tx_independence_violations,
+              inv.feasibility_violations,
+              static_cast<long long>(inv.max_conflict_duration));
 }
 
 int cmd_params(const common::Cli& cli) {
@@ -271,20 +314,59 @@ int cmd_color(const common::Cli& cli) {
   cfg.seed = cli.get_seed("seed", 1);
   if (cli.get("wakeup", "sync") == "uniform") {
     cfg.wakeup = core::WakeupKind::kUniform;
-    cfg.wakeup_window = cli.get_int("wakeup-window", 2000);
+    cfg.wakeup_window = cli.get_int_at_least("wakeup-window", 2000, 0);
   }
   apply_resolve_flags(cli, cfg);
-  const auto trials = cli.get_int("trials", 1);
-  if (trials < 1) {
-    std::fprintf(stderr, "--trials must be >= 1\n");
-    std::exit(2);
-  }
+  const auto trials = cli.get_int_at_least("trials", 1, 1);
+  const auto plan = load_fault_plan(cli, g);
   if (trials > 1) {
+    if (plan.has_value()) {
+      std::fprintf(stderr, "--faults is incompatible with --trials > 1\n");
+      std::exit(2);
+    }
     return cmd_color_trials(cli, g, cfg, static_cast<std::size_t>(trials));
   }
   const std::string json_path = cli.get("json", "");
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
+
+  if (plan.has_value()) {
+    // Fault-injected run: chaos engine + runtime invariant monitor. Crashed
+    // nodes cannot decide, so the plain all-decided exit rule would punish
+    // every crash plan — the verdict is the monitor's instead: every
+    // coloring conflict the faults caused must have been repaired by the
+    // end, and no color may exceed the palette bound.
+    for (const faults::CrashEvent& c : plan->crashes) {
+      if (c.restart != -1) {
+        std::fprintf(stderr,
+                     "--faults: crash restarts need the self-healing "
+                     "protocol; use `recover`\n");
+        std::exit(2);
+      }
+    }
+    core::MwInstance instance(g, cfg);
+    faults::FaultEngine engine(*plan, cfg.seed);
+    engine.install(instance.simulator());
+    faults::InvariantMonitor monitor(g, [&instance](graph::NodeId v) {
+      return instance.nodes()[v]->final_color();
+    });
+    monitor.attach(instance.simulator());
+    const auto result = instance.run();
+    if (!quiet) {
+      std::printf("graph: n=%zu Delta=%zu avg_deg=%.1f\n", g.size(),
+                  g.max_degree(), g.average_degree());
+      std::printf("params: %s\n", result.params.to_string().c_str());
+      std::printf("result: %s\n", result.summary().c_str());
+      print_fault_summary(result.metrics, engine, monitor);
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      out << core::to_json(result) << '\n';
+      if (!quiet) std::printf("report written to %s\n", json_path.c_str());
+    }
+    const auto inv = monitor.report();
+    return inv.open_conflicts == 0 && inv.feasibility_violations == 0 ? 0 : 1;
+  }
 
   const auto result = core::run_mw_coloring(g, cfg);
   if (!quiet) {
@@ -509,18 +591,42 @@ int cmd_recover(const common::Cli& cli) {
   const auto g = build_graph(cli);
   core::MwRunConfig cfg;
   cfg.seed = cli.get_seed("seed", 1);
-  cfg.failure_fraction = cli.get_double("fail-fraction", 0.0);
-  cfg.failure_window = cli.get_int("fail-window", 0);
+  cfg.failure_fraction = cli.get_double_at_least("fail-fraction", 0.0, 0.0);
+  cfg.failure_window = cli.get_int_at_least("fail-window", 0, 0);
   cfg.recovery.enabled = true;
-  cfg.recovery.join_fraction = cli.get_double("join-fraction", 0.0);
-  cfg.recovery.join_at = cli.get_int("join-at", 0);
-  cfg.recovery.join_window = cli.get_int("join-window", 0);
+  cfg.recovery.join_fraction =
+      cli.get_double_at_least("join-fraction", 0.0, 0.0);
+  cfg.recovery.join_at = cli.get_int_at_least("join-at", 0, 0);
+  cfg.recovery.join_window = cli.get_int_at_least("join-window", 0, 0);
+  if (cfg.failure_fraction > 1.0 || cfg.recovery.join_fraction > 1.0) {
+    std::fprintf(stderr, "fractions must be in [0, 1]\n");
+    std::exit(2);
+  }
+  // Robustness hardening knobs (docs/ROBUSTNESS.md): bounded request
+  // retransmission and graceful degradation to a provisional color.
+  cfg.recovery.retransmit.initial_wait =
+      cli.get_int_at_least("retransmit-wait", 0, 0);
+  cfg.recovery.retransmit.max_retries = static_cast<std::size_t>(
+      cli.get_int_at_least("retransmit-retries", 6, 0));
+  cfg.recovery.degrade_to_provisional = cli.get_bool("degrade", false);
   apply_resolve_flags(cli, cfg);
+  const auto plan = load_fault_plan(cli, g);
   const std::string json_path = cli.get("json", "");
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
 
-  const auto result = robust::run_recovering_mw(g, cfg);
+  robust::RecoveryInstance instance(g, cfg);
+  std::optional<faults::FaultEngine> engine;
+  std::optional<faults::InvariantMonitor> monitor;
+  if (plan.has_value()) {
+    engine.emplace(*plan, cfg.seed);
+    engine->install(instance.simulator());
+    monitor.emplace(g, [&instance](graph::NodeId v) {
+      return instance.nodes()[v]->final_color();
+    });
+    monitor->attach(instance.simulator());
+  }
+  const auto result = instance.run();
   if (!quiet) {
     std::printf("graph: n=%zu Delta=%zu avg_deg=%.1f\n", g.size(),
                 g.max_degree(), g.average_degree());
@@ -528,6 +634,9 @@ int cmd_recover(const common::Cli& cli) {
     std::printf("recovery: %s\n", cfg.recovery.to_string().c_str());
     std::printf("result: %s\n", result.summary().c_str());
     std::printf("healing: %s\n", result.recovery.summary().c_str());
+    if (engine.has_value()) {
+      print_fault_summary(result.metrics, *engine, *monitor);
+    }
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -536,7 +645,14 @@ int cmd_recover(const common::Cli& cli) {
   }
   // Success = the LIVE coloring is valid and no survivor stalled (a corpse
   // cannot decide; result.metrics.all_decided would punish it unfairly).
-  return result.coloring_valid && result.metrics.stalled_nodes == 0 ? 0 : 1;
+  // Under a fault plan the invariant monitor's verdict joins the gate:
+  // every conflict the faults caused must have been repaired by the end.
+  bool ok = result.coloring_valid && result.metrics.stalled_nodes == 0;
+  if (monitor.has_value()) {
+    const auto inv = monitor->report();
+    ok = ok && inv.open_conflicts == 0 && inv.feasibility_violations == 0;
+  }
+  return ok ? 0 : 1;
 }
 
 // --- trace subcommand -------------------------------------------------------
@@ -547,20 +663,21 @@ int trace_record(const common::Cli& cli) {
   cfg.seed = cli.get_seed("seed", 1);
   if (cli.get("wakeup", "sync") == "uniform") {
     cfg.wakeup = core::WakeupKind::kUniform;
-    cfg.wakeup_window = cli.get_int("wakeup-window", 2000);
+    cfg.wakeup_window = cli.get_int_at_least("wakeup-window", 2000, 0);
   }
-  cfg.failure_fraction = cli.get_double("fail-fraction", 0.0);
-  cfg.failure_window = cli.get_int("fail-window", 0);
-  cfg.recovery.join_fraction = cli.get_double("join-fraction", 0.0);
-  cfg.recovery.join_at = cli.get_int("join-at", 0);
-  cfg.recovery.join_window = cli.get_int("join-window", 0);
+  cfg.failure_fraction = cli.get_double_at_least("fail-fraction", 0.0, 0.0);
+  cfg.failure_window = cli.get_int_at_least("fail-window", 0, 0);
+  cfg.recovery.join_fraction =
+      cli.get_double_at_least("join-fraction", 0.0, 0.0);
+  cfg.recovery.join_at = cli.get_int_at_least("join-at", 0, 0);
+  cfg.recovery.join_window = cli.get_int_at_least("join-window", 0, 0);
   apply_resolve_flags(cli, cfg);
   const std::string scenario = cli.get("scenario", "color");
   const std::string out_path = cli.get("out", "trace.jsonl");
   const std::string chrome_path = cli.get("chrome", "");
   const std::string json_path = cli.get("json", "");
   const auto capacity =
-      static_cast<std::size_t>(cli.get_int("capacity", 1 << 20));
+      static_cast<std::size_t>(cli.get_int_at_least("capacity", 1 << 20, 1));
   const bool quiet = cli.get_bool("quiet", false);
   cli.reject_unknown();
 
