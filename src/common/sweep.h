@@ -68,6 +68,17 @@ struct SweepTiming {
 /// Runs independent trials concurrently and merges in trial order.
 /// `threads` = 1 (the default everywhere) executes inline with no pool and
 /// no synchronization, so serial sweeps cost nothing extra.
+///
+/// Thread contract: the engine itself holds no lock-guarded state — both
+/// members are set in the constructor and immutable afterwards; all
+/// synchronization lives in the owned TaskPool (annotated in task_pool.h).
+/// Trials write only to their pre-sized result slot (`results[i]`), which is
+/// race-free by construction: slots are disjoint and the pool's job join
+/// provides the happens-before edge back to the caller. What the trial
+/// callback does is the caller's obligation — share nothing mutable except
+/// internally-synchronized sinks (obs::Tracer, obs::Counter,
+/// graph::TopologyCache); tests/concurrency_stress_test.cpp runs exactly
+/// that pattern under TSan.
 class SweepEngine {
  public:
   explicit SweepEngine(std::size_t threads);

@@ -8,16 +8,23 @@
 // indices from a shared counter — only the ASSIGNMENT of shard to worker
 // varies between runs, never the work or the merged result
 // (tests/determinism_test.cpp holds the simulator to this).
+//
+// Lock discipline (checked by clang -Wthread-safety via the annotations
+// below, and hammered under TSan by tests/concurrency_stress_test.cpp):
+// every mutable member is guarded by mutex_; shard functions run with the
+// mutex RELEASED (drain_job's lock-passing contract), reading the job
+// pointer into a local while still locked.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_safety.h"
 
 namespace sinrcolor::common {
 
@@ -39,7 +46,8 @@ class TaskPool {
   /// concurrently, and blocks until every call returned. fn must not throw;
   /// shards must not share mutable state. Not reentrant.
   void run_shards(std::size_t shards,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn)
+      SINRCOLOR_EXCLUDES(mutex_);
 
   /// Contiguous [begin, end) range of shard `s` when `total` items are split
   /// into `shards` near-equal chunks (the remainder spreads over the first
@@ -49,21 +57,24 @@ class TaskPool {
                                                          std::size_t s);
 
  private:
-  void worker_loop();
-  /// Claims and runs shards until none remain; `lock` is held on entry/exit.
-  void drain_job(std::unique_lock<std::mutex>& lock);
+  void worker_loop() SINRCOLOR_EXCLUDES(mutex_);
+  /// Claims and runs shards until none remain. `lock` owns mutex_ on entry
+  /// and exit but releases it around each fn(s) call — the caller's scoped
+  /// guard is threaded through so the unlock/relock stays visible to it.
+  void drain_job(MutexLock& lock) SINRCOLOR_REQUIRES(mutex_);
 
   std::size_t threads_;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_shards_ = 0;
-  std::size_t next_shard_ = 0;
-  std::size_t remaining_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(std::size_t)>* job_ SINRCOLOR_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t job_shards_ SINRCOLOR_GUARDED_BY(mutex_) = 0;
+  std::size_t next_shard_ SINRCOLOR_GUARDED_BY(mutex_) = 0;
+  std::size_t remaining_ SINRCOLOR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ SINRCOLOR_GUARDED_BY(mutex_) = 0;
+  bool stop_ SINRCOLOR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sinrcolor::common

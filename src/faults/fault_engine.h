@@ -55,9 +55,18 @@ class FaultEngine final : public radio::FaultInjector {
   const FaultPlan& plan() const { return plan_; }
 
  private:
+  // Thread contract: the engine is thread-COMPATIBLE, not thread-safe — it
+  // needs no mutex because the simulator calls every mutating entry point
+  // (channel_disturbance, drop_delivery's stats bump) from the slot loop
+  // thread, strictly between the TaskPool resolve phases. The resolve shards
+  // see only the immutable plan_/drop_seed_ and the per-slot disturbance_
+  // snapshot, which is written before the shards fork and read-only while
+  // they run. Do NOT call the FaultInjector interface from inside a shard;
+  // tests/concurrency_stress_test.cpp and the tsan-smoke CI job hold the
+  // threaded chaos path to zero TSan reports under this contract.
   const FaultPlan plan_;
   const std::uint64_t drop_seed_;
-  radio::ChannelDisturbance disturbance_;
+  radio::ChannelDisturbance disturbance_;     ///< slot-loop thread only
   std::vector<radio::Jammer> active_jammers_;  ///< reused per slot
   mutable Stats stats_;  ///< mutable: drop_delivery() is const in the API
 };

@@ -10,7 +10,7 @@ std::shared_ptr<const UnitDiskGraph> TopologyCache::get_or_build(
     const TopologyKey& key, const Builder& builder) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     auto [it, inserted] = entries_.try_emplace(key);
     if (inserted) {
       it->second = std::make_shared<Entry>();
@@ -30,22 +30,22 @@ std::shared_ptr<const UnitDiskGraph> TopologyCache::get_or_build(
 }
 
 std::size_t TopologyCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::uint64_t TopologyCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t TopologyCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return misses_;
 }
 
 void TopologyCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   entries_.clear();
   hits_ = 0;
   misses_ = 0;

@@ -26,6 +26,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_safety.h"
 #include "graph/unit_disk_graph.h"
 
 namespace sinrcolor::graph {
@@ -59,27 +61,33 @@ class TopologyCache {
   /// `builder` must be a pure function of `key` (same key ⇒ same graph);
   /// it is invoked at most once per key for the cache's lifetime.
   std::shared_ptr<const UnitDiskGraph> get_or_build(const TopologyKey& key,
-                                                    const Builder& builder);
+                                                    const Builder& builder)
+      SINRCOLOR_EXCLUDES(mutex_);
 
   /// Distinct topologies currently cached.
-  std::size_t size() const;
+  std::size_t size() const SINRCOLOR_EXCLUDES(mutex_);
   /// Requests served from an existing entry / requests that built one.
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  std::uint64_t hits() const SINRCOLOR_EXCLUDES(mutex_);
+  std::uint64_t misses() const SINRCOLOR_EXCLUDES(mutex_);
 
   /// Drops every entry (outstanding shared_ptrs stay valid).
-  void clear();
+  void clear() SINRCOLOR_EXCLUDES(mutex_);
 
  private:
+  /// A cache slot. The Entry pointer itself is guarded by mutex_; `graph` is
+  /// published through `built` (std::call_once establishes the necessary
+  /// happens-before), so the build runs OUTSIDE the cache lock — a slow
+  /// builder never blocks lookups of other keys.
   struct Entry {
     std::once_flag built;
     std::shared_ptr<const UnitDiskGraph> graph;
   };
 
-  mutable std::mutex mutex_;
-  std::map<TopologyKey, std::shared_ptr<Entry>> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  mutable common::Mutex mutex_;
+  std::map<TopologyKey, std::shared_ptr<Entry>> entries_
+      SINRCOLOR_GUARDED_BY(mutex_);
+  std::uint64_t hits_ SINRCOLOR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ SINRCOLOR_GUARDED_BY(mutex_) = 0;
 };
 
 /// Process-wide cache used by the experiment harnesses and the CLI. Sweeps

@@ -34,11 +34,13 @@ double Histogram::mean() const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  common::MutexLock lock(mutex_);
   return counters_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> edges) {
+  common::MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     SINRCOLOR_CHECK_MSG(it->second.edges() == edges,
@@ -48,7 +50,13 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return histograms_.emplace(name, Histogram(std::move(edges))).first->second;
 }
 
+bool MetricsRegistry::empty() const {
+  common::MutexLock lock(mutex_);
+  return counters_.empty() && histograms_.empty();
+}
+
 void MetricsRegistry::write_json(common::JsonWriter& json) const {
+  common::MutexLock lock(mutex_);
   json.begin_object();
   json.key("counters");
   json.begin_object();

@@ -2,12 +2,28 @@
 // simulator, the protocol drivers and the MAC layer register into during an
 // observed run. The registry is ordered (std::map) so that exported JSON is
 // byte-stable across same-seed runs — sinrlint R1 territory.
+//
+// Thread contract (checked by clang -Wthread-safety via the annotations
+// below, and under TSan by tests/concurrency_stress_test.cpp):
+//   * registration/lookup (counter(), histogram()) is internally
+//     synchronized — concurrent threads may register freely; std::map node
+//     stability keeps every handed-out reference valid forever;
+//   * Counter::add is a relaxed atomic increment — safe from any thread, and
+//     byte-stable under concurrency because addition is commutative;
+//   * Histogram::record is NOT thread-safe: its running float sum is
+//     order-sensitive, so concurrent recording would break byte-identity
+//     even if made race-free. Record into a histogram from one thread only
+//     (today: the simulator slot loop / post-merge driver code).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_safety.h"
 
 namespace sinrcolor::common {
 class JsonWriter;
@@ -15,18 +31,33 @@ class JsonWriter;
 
 namespace sinrcolor::obs {
 
+/// Monotone event counter. add() is safe from any thread (relaxed atomic —
+/// counts are commutative, so the total never depends on thread order).
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) { value_ += delta; }
-  std::uint64_t value() const { return value_; }
+  Counter() = default;
+  // std::atomic is not copyable; copying a Counter snapshots its value
+  // (needed so registries stay copyable aggregate members).
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Fixed-bucket histogram over doubles. `edges` are strictly increasing
 /// upper bounds: bucket i counts samples x with edges[i-1] < x <= edges[i];
 /// bucket edges.size() is the overflow bucket (x > edges.back()).
+/// Externally synchronized: record() from one thread at a time (see the
+/// registry thread contract above).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> edges);
@@ -55,27 +86,40 @@ class Histogram {
 
 class MetricsRegistry {
  public:
-  /// Finds or creates the named counter.
-  Counter& counter(const std::string& name);
+  /// Finds or creates the named counter. Thread-safe; the reference stays
+  /// valid for the registry's lifetime (std::map nodes never move).
+  Counter& counter(const std::string& name) SINRCOLOR_EXCLUDES(mutex_);
 
-  /// Finds or creates the named histogram. Re-registering an existing name
-  /// with different edges aborts (two subsystems disagreeing on a metric's
-  /// shape is a wiring bug, not a runtime condition).
-  Histogram& histogram(const std::string& name, std::vector<double> edges);
+  /// Finds or creates the named histogram. Thread-safe for registration;
+  /// recording into the result is single-threaded (see Histogram).
+  /// Re-registering an existing name with different edges aborts (two
+  /// subsystems disagreeing on a metric's shape is a wiring bug, not a
+  /// runtime condition).
+  Histogram& histogram(const std::string& name, std::vector<double> edges)
+      SINRCOLOR_EXCLUDES(mutex_);
 
-  bool empty() const { return counters_.empty() && histograms_.empty(); }
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Histogram>& histograms() const {
+  bool empty() const SINRCOLOR_EXCLUDES(mutex_);
+
+  /// Quiescent-state accessors for the export/report path: call only after
+  /// every emitting thread has finished (the analysis is waived because the
+  /// returned reference outlives any lock scope; TSan still checks misuse).
+  const std::map<std::string, Counter>& counters() const
+      SINRCOLOR_NO_THREAD_SAFETY_ANALYSIS {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const
+      SINRCOLOR_NO_THREAD_SAFETY_ANALYSIS {
     return histograms_;
   }
 
   /// {"counters":{name:value,...},"histograms":{name:{edges,counts,...}}}
-  void write_json(common::JsonWriter& json) const;
-  std::string to_json() const;
+  void write_json(common::JsonWriter& json) const SINRCOLOR_EXCLUDES(mutex_);
+  std::string to_json() const SINRCOLOR_EXCLUDES(mutex_);
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Histogram> histograms_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, Counter> counters_ SINRCOLOR_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ SINRCOLOR_GUARDED_BY(mutex_);
 };
 
 }  // namespace sinrcolor::obs

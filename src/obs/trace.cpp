@@ -54,6 +54,7 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
 }
 
 void Tracer::record(const TraceEvent& event) {
+  common::MutexLock lock(mutex_);
   ++recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
@@ -65,6 +66,7 @@ void Tracer::record(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> Tracer::events() const {
+  common::MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
@@ -74,13 +76,23 @@ std::vector<TraceEvent> Tracer::events() const {
   return out;
 }
 
-std::size_t Tracer::size() const { return ring_.size(); }
+std::size_t Tracer::size() const {
+  common::MutexLock lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::recorded() const {
+  common::MutexLock lock(mutex_);
+  return recorded_;
+}
 
 std::uint64_t Tracer::dropped() const {
+  common::MutexLock lock(mutex_);
   return recorded_ - static_cast<std::uint64_t>(ring_.size());
 }
 
 void Tracer::clear() {
+  common::MutexLock lock(mutex_);
   ring_.clear();
   head_ = 0;
   recorded_ = 0;

@@ -18,6 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_safety.h"
+
 namespace sinrcolor::obs {
 
 /// Mirrors radio::Slot / graph::NodeId without including those headers
@@ -79,33 +82,44 @@ struct TraceEvent {
 /// Fixed-capacity ring buffer of trace events. Overflow policy: drop-OLDEST
 /// (the freshest events are the ones that explain a stall at the end of a
 /// run); the number of overwritten events is reported via dropped().
+///
+/// Thread safety: the ring is internally synchronized (a shared-state sink —
+/// the coming spatially-sharded engine will emit from resolve shards), so
+/// concurrent record() calls are safe and never lose an event. The per-event
+/// lock is paid only when a sink is attached; the SINRCOLOR_TRACE fast path
+/// for unobserved runs stays a single pointer test. NOTE: concurrent
+/// emitters make the ring ORDER nondeterministic — byte-compared artifacts
+/// must come from single-threaded emission (today's simulator slot loop), as
+/// tests/determinism_test.cpp pins.
 class Tracer {
  public:
   explicit Tracer(std::size_t capacity = std::size_t{1} << 20);
 
-  void record(const TraceEvent& event);
+  void record(const TraceEvent& event) SINRCOLOR_EXCLUDES(mutex_);
   void record(Slot slot, EventKind kind, NodeId node, NodeId peer = kNoNode,
               std::int32_t a = 0, std::int64_t b = 0) {
     record(TraceEvent{slot, node, peer, a, b, kind});
   }
 
   /// Events currently held, in emission order (oldest surviving first).
-  std::vector<TraceEvent> events() const;
+  std::vector<TraceEvent> events() const SINRCOLOR_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const SINRCOLOR_EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }
   /// Total events ever recorded (survivors + dropped).
-  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t recorded() const SINRCOLOR_EXCLUDES(mutex_);
   /// Events overwritten by the drop-oldest overflow policy.
-  std::uint64_t dropped() const;
+  std::uint64_t dropped() const SINRCOLOR_EXCLUDES(mutex_);
 
-  void clear();
+  void clear() SINRCOLOR_EXCLUDES(mutex_);
 
  private:
-  std::size_t capacity_;
-  std::vector<TraceEvent> ring_;
-  std::size_t head_ = 0;  ///< next write position once the ring is full
-  std::uint64_t recorded_ = 0;
+  const std::size_t capacity_;  ///< immutable after construction
+  mutable common::Mutex mutex_;
+  std::vector<TraceEvent> ring_ SINRCOLOR_GUARDED_BY(mutex_);
+  /// Next write position once the ring is full.
+  std::size_t head_ SINRCOLOR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t recorded_ SINRCOLOR_GUARDED_BY(mutex_) = 0;
 };
 
 /// Emission macro: a single pointer test when no sink is attached. The

@@ -2,17 +2,38 @@
 # Full local gate: sinrlint, then configure/build/test the plain tree, then
 # repeat under AddressSanitizer + UBSan. Stages can be selected individually.
 #
-#   tools/check.sh [--no-sanitize] [--lint] [--tidy] [extra cmake args...]
+#   tools/check.sh [--no-sanitize] [--lint] [--tidy] [--tsan] [--help]
+#                  [extra cmake args...]
 #
 #   (default)      lint + plain build/test + asan build/test
 #   --no-sanitize  lint + plain build/test             (quick pass)
 #   --lint         sinrlint only                       (seconds)
 #   --tidy         clang-tidy only (skips with a notice when not installed)
+#   --tsan         ThreadSanitizer build/test only (concurrency gate)
 #
-# Stage flags combine (e.g. `--lint --tidy` runs both analysis stages and no
-# builds). Remaining arguments are forwarded to every cmake configure step.
-# Run from anywhere inside the repository.
+# Stage flags combine (e.g. `--lint --tsan` runs both and nothing else).
+# Remaining arguments are forwarded to every cmake configure step. Run from
+# anywhere inside the repository.
 set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+usage: tools/check.sh [options] [extra cmake args...]
+
+stages (default run = lint, plain, asan):
+  lint   sinrlint unit tests + R1-R8 tree scan + allowlist prune check
+  plain  configure/build/ctest, no sanitizers
+  asan   configure/build/ctest under -DSINRCOLOR_SANITIZE=address (ASan+UBSan)
+  tsan   configure/build/ctest under -DSINRCOLOR_SANITIZE=thread (TSan)
+  tidy   clang-tidy over the whole tree (CI always runs it; local runs skip
+         with a notice when clang-tidy is not installed)
+
+options:
+  --lint | --tidy | --tsan   run only the named stage(s); flags combine
+  --no-sanitize              default run without the asan stage (quick pass)
+  --help                     this message
+EOF
+}
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
@@ -21,9 +42,11 @@ sanitize=1
 only_stages=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
+    --help|-h) usage; exit 0 ;;
     --no-sanitize) sanitize=0; shift ;;
     --lint) only_stages+=(lint); shift ;;
     --tidy) only_stages+=(tidy); shift ;;
+    --tsan) only_stages+=(tsan); shift ;;
     *) break ;;
   esac
 done
@@ -37,9 +60,10 @@ run_tree() {
 }
 
 run_lint() {
-  echo "== sinrlint (R1–R5) =="
+  echo "== sinrlint (R1–R8) =="
   python3 "$repo/tools/lint/sinrlint_test.py"
   python3 "$repo/tools/lint/sinrlint.py" --root "$repo"
+  python3 "$repo/tools/lint/sinrlint.py" --root "$repo" --prune-check
 }
 
 run_tidy() {
@@ -52,11 +76,18 @@ run_tidy() {
   cmake --build "$repo/build" -t tidy
 }
 
+run_tsan() {
+  echo "== sanitized build (thread) =="
+  TSAN_OPTIONS="halt_on_error=1" \
+    run_tree "$repo/build-tsan" -DSINRCOLOR_SANITIZE=thread "$@"
+}
+
 if [[ ${#only_stages[@]} -gt 0 ]]; then
   for stage in "${only_stages[@]}"; do
     case "$stage" in
       lint) run_lint ;;
       tidy) run_tidy "$@" ;;
+      tsan) run_tsan "$@" ;;
     esac
   done
   echo "selected stages passed"
@@ -70,7 +101,7 @@ run_tree "$repo/build" "$@"
 
 if [[ "$sanitize" == 1 ]]; then
   echo "== sanitized build (address,undefined) =="
-  run_tree "$repo/build-asan" -DSINRCOLOR_SANITIZE=ON "$@"
+  run_tree "$repo/build-asan" -DSINRCOLOR_SANITIZE=address "$@"
 fi
 
 echo "all checks passed"

@@ -1,0 +1,23 @@
+// R6 bad: raw std::mutex members and manual lock pairing.
+#include <mutex>
+
+class BadQueue {
+ public:
+  void push(int v) {
+    mutex_.lock();  // manual pairing: early return would deadlock
+    data_ = v;
+    mutex_.unlock();
+  }
+
+  bool try_push(int v) {
+    if (!mutex_.try_lock()) return false;
+    data_ = v;
+    mutex_.unlock();
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;  // raw: invisible to -Wthread-safety
+  std::recursive_mutex fallback_;
+  int data_ = 0;
+};

@@ -1,0 +1,25 @@
+// R6 good: the annotated wrapper, held through the RAII guard.
+#include "common/mutex.h"
+#include "common/thread_safety.h"
+
+class GoodQueue {
+ public:
+  void push(int v) {
+    sinrcolor::common::MutexLock lock(mutex_);
+    data_ = v;
+  }
+
+  // Guard-object relock (lock.unlock()/lock.lock()) is fine: `lock` is a
+  // MutexLock, not a mutex, so the RAII destructor still owns the release.
+  void push_slow(int v) {
+    sinrcolor::common::MutexLock lock(mutex_);
+    lock.unlock();
+    const int prepared = v * 2;
+    lock.lock();
+    data_ = prepared;
+  }
+
+ private:
+  mutable sinrcolor::common::Mutex mutex_;
+  int data_ SINRCOLOR_GUARDED_BY(mutex_) = 0;
+};

@@ -1,0 +1,19 @@
+// R7 bad: wall-clock reads in library code.
+#include <chrono>
+#include <ctime>
+
+long long stamp_result() {
+  const auto now = std::chrono::system_clock::now();  // calendar time
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+long long monotonic_result() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long long legacy_result() {
+  const std::time_t t = std::time(nullptr);
+  return static_cast<long long>(t) + static_cast<long long>(std::clock());
+}

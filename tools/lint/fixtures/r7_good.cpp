@@ -1,0 +1,23 @@
+// R7 good: results are pure functions of slots and seeds; identifiers that
+// merely CONTAIN the banned tokens must not fire.
+#include <cstdint>
+
+struct RunClock {
+  std::int64_t slot = 0;  // logical time: advances once per slot
+};
+
+std::int64_t run_time(const RunClock& c) { return c.slot; }
+
+std::int64_t elapsed_slots(const RunClock& c, std::int64_t start) {
+  return run_time(c) - start;
+}
+
+struct Timer {
+  std::int64_t deadline_slot = 0;
+  bool expired(const RunClock& c) const { return c.slot >= deadline_slot; }
+};
+
+std::int64_t measure(const RunClock& c) {
+  Timer timer{c.slot + 8};
+  return timer.expired(c) ? run_time(c) : elapsed_slots(c, 0);
+}

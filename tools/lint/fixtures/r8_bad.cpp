@@ -1,0 +1,14 @@
+// R8 bad: shared mutable static state.
+#include <cstdint>
+#include <string>
+
+static std::uint64_t g_call_count = 0;  // namespace-scope mutable
+
+static std::string g_last_error;  // mutated from any thread, no lock
+
+std::uint64_t bump() {
+  static std::uint64_t local_counter;  // function-local static, unguarded
+  ++local_counter;
+  ++g_call_count;
+  return local_counter;
+}

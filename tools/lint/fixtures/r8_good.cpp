@@ -1,0 +1,24 @@
+// R8 good: immutable, per-thread, or atomic statics — and static member
+// FUNCTIONS, which hold no state at all.
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+static constexpr std::uint64_t kSalt = 0x9e3779b97f4a7c15ULL;
+static const int kTableSize = 64;
+
+static thread_local std::uint64_t t_scratch = 0;
+
+static std::atomic<std::uint64_t> g_progress{0};
+
+class Helper {
+ public:
+  static std::pair<std::uint64_t, std::uint64_t> split(std::uint64_t v);
+  static int size() { return kTableSize; }
+};
+
+std::uint64_t touch() {
+  t_scratch += kSalt;
+  g_progress.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(static_cast<int>(t_scratch & 0xff));
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """sinrlint — project-specific static analysis for the sinrcolor tree.
 
-Five token/regex-level rules that the generic tools (clang-tidy, -W flags)
+Eight token/regex-level rules that the generic tools (clang-tidy, -W flags)
 cannot express, each protecting the credibility of the simulation evidence
 for the paper's Theorems 1-3 (see docs/STATIC_ANALYSIS.md for rationale):
 
@@ -27,10 +27,27 @@ for the paper's Theorems 1-3 (see docs/STATIC_ANALYSIS.md for rationale):
                              (src/sinr, src/radio): power sums span many
                              orders of magnitude and float accumulation
                              changes reception outcomes.
+  R6 lock-discipline         no raw std::mutex family in src/ (use the
+                             annotated common::Mutex so clang -Wthread-safety
+                             checks lock discipline), and no bare
+                             .lock()/.unlock()/.try_lock() on a declared
+                             mutex outside the RAII guards of
+                             src/common/mutex.h.
+  R7 no-wall-clock           no wall-clock reads (system_clock, steady_clock,
+                             time(), clock(), ...) in src/ — results must be
+                             pure functions of (topology, protocol, seed);
+                             reporting-only timing is allowlisted per file.
+  R8 shared-mutable-global   no mutable static/namespace-scope state in src/
+                             that is not const, thread_local, atomic or an
+                             allowlisted internally-synchronized singleton —
+                             hidden shared globals break both thread safety
+                             and the share-nothing determinism contract.
 
 Findings can be suppressed through the allowlist file (one justified entry
-per suppression; see tools/lint/allowlist.txt). Exit status: 0 clean,
-1 findings, 2 bad invocation / malformed allowlist.
+per suppression; see tools/lint/allowlist.txt). `--prune-check` audits the
+allowlist itself: an entry that no longer suppresses anything is stale and
+must be removed. Exit status: 0 clean, 1 findings (or stale entries),
+2 bad invocation / malformed allowlist.
 """
 
 from __future__ import annotations
@@ -60,6 +77,21 @@ R4_SCOPE = ("src/",)
 
 # R5: subsystems doing SINR / interference arithmetic.
 R5_SCOPE = ("src/sinr/", "src/radio/")
+
+# R6: the annotated wrapper lives here and is the one place allowed to touch
+# the raw std::mutex underneath; library code everywhere else must go through
+# common::Mutex / common::MutexLock.
+MUTEX_HOME = ("src/common/mutex.h",)
+R6_SCOPE = ("src/",)
+MUTEX_TYPES = r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex"
+
+# R7: library code whose outputs are byte-compared across runs/threads.
+# bench/ and tools/ print wall time on purpose; src/ must not read clocks
+# except where the allowlist names reporting-only timing.
+R7_SCOPE = ("src/",)
+
+# R8: same scope — shared mutable globals hide cross-thread state.
+R8_SCOPE = ("src/",)
 
 
 @dataclass(frozen=True)
@@ -254,7 +286,82 @@ def rule_r5(path: str, stripped: str) -> list[Finding]:
     return findings
 
 
-RULES = (rule_r1, rule_r2, rule_r3, rule_r4, rule_r5)
+def rule_r6(path: str, stripped: str) -> list[Finding]:
+    if not any(path.startswith(scope) for scope in R6_SCOPE):
+        return []
+    if path in MUTEX_HOME:
+        return []
+    findings = []
+    for m in re.finditer(rf"\b{MUTEX_TYPES}\b", stripped):
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "R6",
+            "raw std::mutex family — use common::Mutex "
+            "(src/common/mutex.h), whose capability annotations let clang "
+            "-Wthread-safety verify lock discipline"))
+    # Bare .lock()/.unlock() on a variable declared as a mutex in this file:
+    # manual pairing is exactly the bug class the RAII guards exist to kill
+    # (early return between lock and unlock = deadlock; exception = leak).
+    mutex_names = set(re.findall(
+        rf"\b(?:(?:\w+::)*Mutex|{MUTEX_TYPES})\s+(\w+)\s*[;,)=]", stripped))
+    for name in mutex_names:
+        for m in re.finditer(
+                rf"\b{re.escape(name)}\s*\.\s*(?:lock|unlock|try_lock)\s*\(",
+                stripped):
+            findings.append(Finding(
+                path, line_of(stripped, m.start()), "R6",
+                f"bare lock/unlock on mutex '{name}' — hold it through the "
+                "RAII common::MutexLock guard so unlock is exception- and "
+                "early-return-safe (and visible to -Wthread-safety)"))
+    return findings
+
+
+def rule_r7(path: str, stripped: str) -> list[Finding]:
+    if not any(path.startswith(scope) for scope in R7_SCOPE):
+        return []
+    patterns = (
+        (r"\bsystem_clock\b", "std::chrono::system_clock"),
+        (r"\bsteady_clock\b", "std::chrono::steady_clock"),
+        (r"(?<![A-Za-z0-9_.>])time\s*\(", "time()"),
+        (r"(?<![A-Za-z0-9_.>])clock\s*\(", "clock()"),
+        (r"\b(?:gettimeofday|clock_gettime|localtime|gmtime)\b",
+         "POSIX wall-clock API"),
+    )
+    findings = []
+    for pattern, what in patterns:
+        for m in re.finditer(pattern, stripped):
+            findings.append(Finding(
+                path, line_of(stripped, m.start()), "R7",
+                f"wall-clock read {what} in library code — results must be "
+                "pure functions of (topology, protocol, seed); count slots "
+                "instead, or allowlist reporting-only timing that never "
+                "reaches a byte-compared artifact"))
+    return findings
+
+
+def rule_r8(path: str, stripped: str) -> list[Finding]:
+    if not any(path.startswith(scope) for scope in R8_SCOPE):
+        return []
+    findings = []
+    # `static` declarations with no parentheses before the terminating `;`
+    # (parentheses mean a function declaration, which is stateless). The
+    # keyword check below then exempts immutable (const*), per-thread
+    # (thread_local) and raced-safely (atomic) declarations.
+    for m in re.finditer(r"\bstatic\b((?:[^;{}()]|<[^;{}()]*>)*);", stripped):
+        decl = m.group(1)
+        if re.search(r"\b(?:const|constexpr|consteval|constinit|"
+                     r"thread_local)\b", decl) or "atomic" in decl:
+            continue
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "R8",
+            "shared mutable static state — make it const/constexpr, "
+            "thread_local, std::atomic, or an internally-synchronized "
+            "singleton with a justified allowlist entry; hidden globals "
+            "break the share-nothing determinism contract"))
+    return findings
+
+
+RULES = (rule_r1, rule_r2, rule_r3, rule_r4, rule_r5, rule_r6, rule_r7,
+         rule_r8)
 
 
 # --- allowlist -------------------------------------------------------------
@@ -273,15 +380,28 @@ def parse_allowlist(path: str) -> list[AllowEntry]:
                     f"{path}:{lineno}: allowlist entry needs "
                     "'<rule> <path-glob> <justification>'")
             rule, glob, justification = parts
-            if not re.fullmatch(r"R[1-5]", rule):
+            if not re.fullmatch(r"R[1-8]", rule):
                 raise ValueError(f"{path}:{lineno}: unknown rule '{rule}'")
             entries.append(AllowEntry(rule, glob, justification))
     return entries
 
 
+def entry_matches(entry: AllowEntry, finding: Finding) -> bool:
+    return entry.rule == finding.rule and fnmatch.fnmatch(finding.path,
+                                                          entry.glob)
+
+
 def allowed(finding: Finding, entries: list[AllowEntry]) -> bool:
-    return any(e.rule == finding.rule and fnmatch.fnmatch(finding.path, e.glob)
-               for e in entries)
+    return any(entry_matches(e, finding) for e in entries)
+
+
+def stale_entries(entries: list[AllowEntry],
+                  raw_findings: list[Finding]) -> list[AllowEntry]:
+    """Entries that suppress nothing in the current tree. A stale entry is a
+    latent hole: it silently re-arms the day a NEW finding appears under its
+    glob, so --prune-check fails the build until it is removed."""
+    return [e for e in entries
+            if not any(entry_matches(e, f) for f in raw_findings)]
 
 
 # --- driver ----------------------------------------------------------------
@@ -318,6 +438,9 @@ def main(argv: list[str]) -> int:
                         help="repository root (default: two levels up)")
     parser.add_argument("--allowlist", default=None,
                         help="allowlist file (default: tools/lint/allowlist.txt)")
+    parser.add_argument("--prune-check", action="store_true",
+                        help="audit the allowlist: fail (exit 1) on entries "
+                             "that no longer suppress any finding")
     parser.add_argument("paths", nargs="*",
                         help="files to lint (default: the whole tree)")
     args = parser.parse_args(argv)
@@ -336,11 +459,25 @@ def main(argv: list[str]) -> int:
         print("sinrlint: no C++ files to lint", file=sys.stderr)
         return 2
 
-    findings = []
+    raw_findings = []
     for rel in files:
         with open(os.path.join(root, rel), encoding="utf-8") as fh:
-            findings.extend(f for f in lint_file(rel, fh.read())
-                            if not allowed(f, entries))
+            raw_findings.extend(lint_file(rel, fh.read()))
+    findings = [f for f in raw_findings if not allowed(f, entries)]
+
+    if args.prune_check:
+        stale = stale_entries(entries, raw_findings)
+        for e in stale:
+            print(f"sinrlint: stale allowlist entry '{e.rule} {e.glob}' "
+                  f"({e.justification}) — suppresses nothing; remove it")
+        if stale:
+            print(f"sinrlint: {len(stale)} stale allowlist entr"
+                  f"{'y' if len(stale) == 1 else 'ies'}", file=sys.stderr)
+            return 1
+        print(f"sinrlint: allowlist clean ({len(entries)} entr"
+              f"{'y' if len(entries) == 1 else 'ies'}, all live)",
+              file=sys.stderr)
+        return 0
 
     for finding in findings:
         print(finding)

@@ -83,6 +83,45 @@ class RuleFixtureTest(unittest.TestCase):
         self.assertEqual([f for f in lint("r5_bad.cpp", "src/graph/x.cpp")
                           if f.rule == "R5"], [])
 
+    def test_r6_fires_on_raw_mutex_and_bare_lock_calls(self):
+        findings = [f for f in lint("r6_bad.cpp", "src/core/x.cpp")
+                    if f.rule == "R6"]
+        # 2 raw std::mutex-family members + 4 bare lock/unlock/try_lock calls
+        self.assertEqual(len(findings), 6)
+        self.assertEqual(sum("raw std::mutex" in f.message for f in findings), 2)
+        self.assertEqual(sum("bare lock/unlock" in f.message for f in findings), 4)
+
+    def test_r6_silent_on_annotated_wrapper_and_guard_relock(self):
+        self.assertEqual(lint("r6_good.cpp", "src/core/x.cpp"), [])
+
+    def test_r6_exempts_mutex_home_and_non_src(self):
+        self.assertEqual(lint("r6_bad.cpp", "src/common/mutex.h"), [])
+        self.assertEqual(lint("r6_bad.cpp", "tools/x.cpp"), [])
+
+    def test_r7_fires_on_wall_clock_reads(self):
+        findings = [f for f in lint("r7_bad.cpp", "src/core/x.cpp")
+                    if f.rule == "R7"]
+        # system_clock, steady_clock, std::time(), std::clock()
+        self.assertEqual(len(findings), 4)
+
+    def test_r7_silent_on_slot_logic_and_lookalike_names(self):
+        self.assertEqual(lint("r7_good.cpp", "src/core/x.cpp"), [])
+
+    def test_r7_scoped_to_src(self):
+        self.assertEqual(lint("r7_bad.cpp", "bench/x.cpp"), [])
+
+    def test_r8_fires_on_mutable_statics(self):
+        findings = [f for f in lint("r8_bad.cpp", "src/core/x.cpp")
+                    if f.rule == "R8"]
+        # two namespace-scope globals + one function-local static
+        self.assertEqual(len(findings), 3)
+
+    def test_r8_silent_on_const_thread_local_atomic_and_functions(self):
+        self.assertEqual(lint("r8_good.cpp", "src/core/x.cpp"), [])
+
+    def test_r8_scoped_to_src(self):
+        self.assertEqual(lint("r8_bad.cpp", "tests/x.cpp"), [])
+
 
 class StripperTest(unittest.TestCase):
     def test_strips_line_and_block_comments(self):
@@ -129,6 +168,56 @@ class AllowlistTest(unittest.TestCase):
     def test_repo_allowlist_parses(self):
         repo_allowlist = os.path.join(os.path.dirname(FIXTURES), "allowlist.txt")
         sinrlint.parse_allowlist(repo_allowlist)  # must not raise
+
+    def test_rules_r6_to_r8_accepted_in_allowlist(self):
+        import tempfile
+        with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as fh:
+            fh.write("R6 src/foo.cpp legacy-lock\n"
+                     "R7 src/bar.h reporting-only\n"
+                     "R8 src/baz.cpp annotated-singleton\n"
+                     "R9 src/no.cpp no-such-rule\n")
+            path = fh.name
+        try:
+            with self.assertRaises(ValueError):  # R9 is rejected
+                sinrlint.parse_allowlist(path)
+        finally:
+            os.unlink(path)
+        with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as fh:
+            fh.write("R6 src/foo.cpp legacy-lock\n"
+                     "R7 src/bar.h reporting-only\n"
+                     "R8 src/baz.cpp annotated-singleton\n")
+            path = fh.name
+        try:
+            entries = sinrlint.parse_allowlist(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual([e.rule for e in entries], ["R6", "R7", "R8"])
+
+    def test_allowlist_suppresses_r7_finding(self):
+        entries = [sinrlint.AllowEntry("R7", "src/common/sweep.h",
+                                       "reporting-only")]
+        finding = sinrlint.Finding("src/common/sweep.h", 100, "R7", "m")
+        elsewhere = sinrlint.Finding("src/core/mw_node.cpp", 4, "R7", "m")
+        self.assertTrue(sinrlint.allowed(finding, entries))
+        self.assertFalse(sinrlint.allowed(elsewhere, entries))
+
+
+class PruneCheckTest(unittest.TestCase):
+    def test_stale_entries_are_those_suppressing_nothing(self):
+        live = sinrlint.AllowEntry("R7", "src/common/sweep.h", "reporting")
+        stale = sinrlint.AllowEntry("R1", "src/legacy/*", "gone")
+        raw = [sinrlint.Finding("src/common/sweep.h", 100, "R7", "m")]
+        self.assertEqual(sinrlint.stale_entries([live, stale], raw), [stale])
+
+    def test_no_entries_means_nothing_stale(self):
+        raw = [sinrlint.Finding("src/a.cpp", 1, "R1", "m")]
+        self.assertEqual(sinrlint.stale_entries([], raw), [])
+
+    def test_entry_matching_any_raw_finding_is_live_even_if_rule_differs_elsewhere(self):
+        entry = sinrlint.AllowEntry("R8", "src/graph/*", "singleton")
+        raw = [sinrlint.Finding("src/graph/topology_cache.cpp", 55, "R8", "m"),
+               sinrlint.Finding("src/graph/topology_cache.cpp", 55, "R6", "m")]
+        self.assertEqual(sinrlint.stale_entries([entry], raw), [])
 
 
 if __name__ == "__main__":

@@ -15,14 +15,18 @@ Checks, per file:
   * the header's accounting holds: recorded - dropped == number of event
     lines actually present.
 
-Exit status: 0 if every file validates, 1 otherwise (one line per problem,
-capped per file). Independent of the C++ reader on purpose — a second,
-dumber parser is exactly what catches exporter regressions.
+Exit status: 0 if every file validates; 1 on schema violations (one line
+per problem, capped per file); 2 on invocation problems — no arguments, or
+a trace file that is missing, unreadable or empty (one-line diagnostic on
+stderr: a vanished artifact is a harness wiring bug, not a schema bug, and
+CI must not report it as one). Independent of the C++ reader on purpose — a
+second, dumber parser is exactly what catches exporter regressions.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 SCHEMA = "sinrcolor.trace.v1"
@@ -58,13 +62,8 @@ def check_file(path: str) -> list[str]:
         if len(errors) < MAX_ERRORS_PER_FILE:
             errors.append(f"{path}:{lineno}: {why}")
 
-    try:
-        with open(path, encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
-    except OSError as e:
-        return [f"{path}: {e}"]
-    if not lines:
-        return [f"{path}: empty file (missing meta header)"]
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
 
     try:
         meta = json.loads(lines[0])
@@ -121,10 +120,29 @@ def check_file(path: str) -> list[str]:
     return errors
 
 
+def precheck(path: str) -> str | None:
+    """One-line diagnostic if `path` is not a readable, non-empty file."""
+    if not os.path.exists(path):
+        return f"trace_schema_check: {path}: no such file"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            first = fh.read(1)
+    except OSError as e:
+        return f"trace_schema_check: {path}: unreadable ({e.strerror})"
+    if not first:
+        return f"trace_schema_check: {path}: empty file (no meta header — did the recorder run?)"
+    return None
+
+
 def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
+    for path in argv[1:]:
+        problem = precheck(path)
+        if problem is not None:
+            print(problem, file=sys.stderr)
+            return 2
     failed = False
     for path in argv[1:]:
         errors = check_file(path)
