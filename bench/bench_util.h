@@ -9,6 +9,8 @@
 // sidecar — machine-readable ground truth next to the human-readable table.
 #pragma once
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -16,6 +18,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "common/cli.h"
 #include "common/json.h"
@@ -29,7 +32,85 @@
 #include "sinr/field_engine.h"
 #include "sinr/params.h"
 
+// Baked in by bench/CMakeLists.txt (git rev-parse at configure time);
+// "unknown" outside a git checkout or a non-CMake compile.
+#ifndef SINRCOLOR_GIT_SHA
+#define SINRCOLOR_GIT_SHA "unknown"
+#endif
+
 namespace sinrcolor::bench {
+
+/// Every machine-readable bench artifact (`--metrics-out`, `--chaos-out`,
+/// `--sweep-bench-out`, ...) is wrapped in this envelope so a directory of
+/// BENCH_*.json files from different PRs/hosts is diffable by
+/// tools/bench_report.py and validated by tools/lint/bench_schema_check.py:
+///
+///   {"schema":"sinrcolor.bench.v1","experiment":...,"git_sha":...,
+///    "host":{"name":...,"cores":...},"threads":N,"payload":{...}}
+///
+/// The payload keeps each harness's own shape; provenance lives only in the
+/// envelope. Wall times inside payloads are reporting-only and excluded from
+/// byte-identity comparisons (compare payloads minus *_us keys, or whole
+/// payloads across thread counts — see .github/workflows/ci.yml).
+inline constexpr const char* kBenchSchema = "sinrcolor.bench.v1";
+
+inline std::string host_fingerprint() {
+  char name[256] = {0};
+  if (gethostname(name, sizeof(name) - 1) != 0) return "unknown";
+  return name[0] != '\0' ? std::string(name) : std::string("unknown");
+}
+
+/// Opens the envelope (object + provenance fields) and leaves the writer
+/// expecting the `payload` value; the caller writes its payload object, then
+/// calls end_bench_envelope.
+inline void begin_bench_envelope(common::JsonWriter& json,
+                                 const char* experiment, std::size_t threads) {
+  json.begin_object();
+  json.field("schema", kBenchSchema);
+  json.field("experiment", experiment);
+  json.field("git_sha", SINRCOLOR_GIT_SHA);
+  json.key("host");
+  json.begin_object();
+  json.field("name", host_fingerprint());
+  json.field("cores",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.end_object();
+  json.field("threads", static_cast<std::uint64_t>(threads));
+  json.key("payload");
+}
+
+inline void end_bench_envelope(common::JsonWriter& json) { json.end_object(); }
+
+/// Atomic publish shared by every bench artifact: write to a sibling tmp
+/// file, then rename over the target, so a crash (or a concurrent reader)
+/// never observes a truncated file — rename(2) is atomic within a
+/// filesystem. Prints "`what` written to PATH" on success.
+inline bool write_atomic(const std::string& path, const std::string& content,
+                         const char* what) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::printf("cannot write %s %s\n", what, tmp.c_str());
+      return false;
+    }
+    out << content << '\n';
+    out.flush();
+    if (!out) {
+      std::printf("cannot write %s %s\n", what, tmp.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::printf("cannot rename %s %s -> %s\n", what, tmp.c_str(),
+                path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::printf("%s written to %s\n", what, path.c_str());
+  return true;
+}
 
 /// Physical layer whose transmission range R_T equals `r_t` with the library
 /// default α, β, ρ (noise solved from the R_T definition).
@@ -135,6 +216,13 @@ class WallTimer {
 /// each run and call write() once at the end; every run of the sweep
 /// accumulates into the same registry. The trace ring is kept small — the
 /// sidecar is about aggregate metrics, not event-level replay.
+///
+/// `--profile=true` (requires --metrics-out) additionally installs the
+/// slot-phase profiler on the observation; write() then emits its per-phase
+/// stats as a `profile` block. The sidecar is a sinrcolor.bench.v1 envelope:
+/// provenance (git sha, host, threads) wraps the {trace, trials, metrics,
+/// profile} payload. Call set_threads() with the harness's worker count so
+/// the envelope records it (defaults to 1).
 class MetricsSidecar {
  public:
   explicit MetricsSidecar(const common::Cli& cli)
@@ -143,30 +231,48 @@ class MetricsSidecar {
       observation_ =
           std::make_unique<obs::RunObservation>(std::size_t{1} << 12);
     }
+    if (cli.get_bool("profile", false)) {
+      if (observation_ == nullptr) {
+        std::printf("--profile requires --metrics-out=PATH\n");
+        std::exit(2);
+      }
+      observation_->enable_profiler();
+    }
   }
 
   obs::RunObservation* observation() { return observation_.get(); }
 
+  /// Worker-thread count recorded in the envelope (resolve or sweep threads,
+  /// whichever the harness varies).
+  void set_threads(std::size_t threads) { threads_ = threads; }
+
   /// Accumulates a sweep's per-trial wall times into the sidecar; write()
   /// then reports trial count, mean, p50 and p95 (in microseconds). Wall
   /// time lives ONLY here and on stdout — never in the byte-compared CSV/
-  /// JSON result artifacts. No-op when the sidecar is off.
+  /// JSON result artifacts. No-op when the sidecar is off. With the profiler
+  /// installed, each trial also lands as one kTrial scope (SweepEngine lives
+  /// in common and cannot see obs, so the trial phase is fed here).
   void record_trials(const common::SweepTiming& timing) {
     if (observation_ == nullptr) return;
     trial_timing_.trial_us.insert(trial_timing_.trial_us.end(),
                                   timing.trial_us.begin(),
                                   timing.trial_us.end());
     trial_timing_.total_us += timing.total_us;
+    if (observation_->profiler != nullptr) {
+      for (const std::uint64_t us : timing.trial_us) {
+        observation_->profiler->record(obs::Phase::kTrial, us, us);
+      }
+    }
   }
 
-  /// Writes {experiment, trace totals, per-trial timing, metrics registry};
-  /// no-op when the flag was absent. Returns false on I/O failure (after
-  /// printing).
+  /// Writes the envelope with payload {trace totals, per-trial timing,
+  /// metrics registry, profile}; no-op when the flag was absent. Returns
+  /// false on I/O failure (after printing).
   bool write(const char* experiment_id) const {
     if (observation_ == nullptr) return true;
     common::JsonWriter json;
+    begin_bench_envelope(json, experiment_id, threads_);
     json.begin_object();
-    json.field("experiment", experiment_id);
     json.key("trace");
     json.begin_object();
     json.field("recorded", observation_->trace.recorded());
@@ -185,37 +291,19 @@ class MetricsSidecar {
     }
     json.key("metrics");
     observation_->metrics.write_json(json);
+    if (observation_->profiler != nullptr &&
+        observation_->profiler->recorded() > 0) {
+      json.key("profile");
+      observation_->profiler->write_json(json);
+    }
     json.end_object();
-    // Atomic publish: write to a sibling tmp file, then rename over the
-    // target. A crash (or a concurrent reader) never observes a truncated
-    // sidecar — rename(2) is atomic within a filesystem.
-    const std::string tmp = path_ + ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::trunc);
-      if (!out) {
-        std::printf("cannot write metrics sidecar %s\n", tmp.c_str());
-        return false;
-      }
-      out << json.str() << '\n';
-      out.flush();
-      if (!out) {
-        std::printf("cannot write metrics sidecar %s\n", tmp.c_str());
-        std::remove(tmp.c_str());
-        return false;
-      }
-    }
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-      std::printf("cannot rename metrics sidecar %s -> %s\n", tmp.c_str(),
-                  path_.c_str());
-      std::remove(tmp.c_str());
-      return false;
-    }
-    std::printf("metrics sidecar written to %s\n", path_.c_str());
-    return true;
+    end_bench_envelope(json);
+    return write_atomic(path_, json.str(), "metrics sidecar");
   }
 
  private:
   std::string path_;
+  std::size_t threads_ = 1;
   std::unique_ptr<obs::RunObservation> observation_;
   common::SweepTiming trial_timing_;
 };

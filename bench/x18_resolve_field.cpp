@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 1));
   const std::size_t sweep_threads = bench::sweep_threads(cli);
   bench::MetricsSidecar sidecar(cli);
+  sidecar.set_threads(threads);
   cli.reject_unknown();
 
   bench::print_experiment_header(

@@ -18,13 +18,13 @@
 //     nobody stalls, and the measured drop rate grows with x.
 //
 // Trials run through common::SweepEngine and all fault randomness is a pure
-// hash of (plan, seed, slot, link), so the table, the CSV and the
-// BENCH_chaos.json baseline (--chaos-out=PATH) are byte-identical for every
-// --threads / --sweep-threads value — CI diffs --threads=1 against
-// --threads=4. Wall time never reaches any byte-compared artifact.
+// hash of (plan, seed, slot, link), so the table, the CSV and the payload of
+// the BENCH_chaos.json baseline (--chaos-out=PATH) are identical for every
+// --threads / --sweep-threads value — CI compares the envelope payloads of
+// --sweep-threads=1 vs =4 (the envelope's `threads` field legitimately
+// differs). Wall time never reaches any compared artifact.
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -77,6 +77,19 @@ bool live_coloring_valid(const graph::UnitDiskGraph& g,
   return true;
 }
 
+using CheckRange = faults::InvariantMonitor::Report::CheckRange;
+constexpr std::size_t kCheckCount = faults::InvariantMonitor::kCheckCount;
+
+/// Union of two firing ranges: counts add, the slot window widens.
+void merge_range(CheckRange& into, const CheckRange& from) {
+  if (from.count == 0) return;
+  into.count += from.count;
+  if (into.first_slot < 0 || from.first_slot < into.first_slot) {
+    into.first_slot = from.first_slot;
+  }
+  into.last_slot = std::max(into.last_slot, from.last_slot);
+}
+
 // Results only — no wall time, so merged rows are a pure function of
 // (base seed, trial index).
 struct TrialResult {
@@ -91,6 +104,8 @@ struct TrialResult {
   std::size_t stalled = 0;
   bool live_valid = false;
   bool monitor_clean = false;
+  CheckRange checks[kCheckCount];  ///< per-check firing details
+  CheckRange open_range;           ///< onset range of still-open episodes
 };
 
 struct Aggregate {
@@ -100,6 +115,8 @@ struct Aggregate {
   std::size_t duration_hist[kDurationBuckets] = {0, 0, 0, 0};
   bool all_live_valid = true;
   bool all_clean = true;
+  CheckRange checks[kCheckCount];
+  CheckRange open_range;
 
   void add(const TrialResult& t) {
     drop_rate.add(t.drop_rate);
@@ -114,6 +131,10 @@ struct Aggregate {
     }
     all_live_valid &= t.live_valid;
     all_clean &= t.monitor_clean;
+    for (std::size_t c = 0; c < kCheckCount; ++c) {
+      merge_range(checks[c], t.checks[c]);
+    }
+    merge_range(open_range, t.open_range);
   }
 };
 
@@ -191,6 +212,7 @@ int main(int argc, char** argv) {
     std::printf("note: --metrics-out forces --sweep-threads=1 (shared "
                 "observation is single-threaded)\n");
   }
+  sidecar.set_threads(engine.thread_count());
 
   const double side = std::sqrt(static_cast<double>(n) * M_PI / avg);
   const auto run_trial = [&](const Medium& medium, double intensity,
@@ -247,6 +269,8 @@ int main(int argc, char** argv) {
     out.stalled = r.metrics.stalled_nodes;
     out.live_valid = live_coloring_valid(*g, r);
     out.monitor_clean = report.clean();
+    for (std::size_t c = 0; c < kCheckCount; ++c) out.checks[c] = report.check[c];
+    out.open_range = report.open_range;
     return out;
   };
 
@@ -299,6 +323,34 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  // Dirty-row detail: for every row where the monitor fired, name WHICH
+  // invariant broke and the slot window it spans, so a failing verdict (or
+  // a look at a faulted row) points straight at the trace region to replay.
+  {
+    std::size_t row = 0;
+    for (std::size_t m = 0; m < std::size(kMedia); ++m) {
+      for (std::size_t i = 0; i < std::size(kIntensities); ++i, ++row) {
+        const Aggregate& agg = aggregates[row];
+        if (agg.all_clean) continue;
+        std::printf("  dirty %s x=%.2f:", kMedia[m].name, kIntensities[i]);
+        for (std::size_t c = 0; c < kCheckCount; ++c) {
+          if (agg.checks[c].count == 0) continue;
+          std::printf(" %s x%zu [slots %lld..%lld]",
+                      faults::InvariantMonitor::check_name(c),
+                      agg.checks[c].count,
+                      static_cast<long long>(agg.checks[c].first_slot),
+                      static_cast<long long>(agg.checks[c].last_slot));
+        }
+        if (agg.open_range.count > 0) {
+          std::printf(" open x%zu [onset %lld..%lld]", agg.open_range.count,
+                      static_cast<long long>(agg.open_range.first_slot),
+                      static_cast<long long>(agg.open_range.last_slot));
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
   // Conflict-duration histogram over every faulted trial (repairs only).
   std::size_t hist[kDurationBuckets] = {0, 0, 0, 0};
   for (const Aggregate& agg : aggregates) {
@@ -315,12 +367,14 @@ int main(int argc, char** argv) {
   }
 
   // BENCH_chaos.json: the deterministic baseline (results only, no wall
-  // times) — byte-identical for every thread count.
+  // times), wrapped in the sinrcolor.bench.v1 envelope. The envelope's
+  // `threads` field records the actual sweep width, so CI compares the
+  // PAYLOAD (not raw bytes) across thread counts — the payload is a pure
+  // function of (topology, plans, seeds).
   if (!chaos_path.empty()) {
     common::JsonWriter json;
+    bench::begin_bench_envelope(json, "x19_chaos", engine.thread_count());
     json.begin_object();
-    json.field("experiment", "x19_chaos");
-    json.field("schema", "sinrcolor.bench.chaos.v1");
     json.field("n", n);
     json.field("avg_degree", avg);
     json.field("seeds", seeds);
@@ -350,18 +404,38 @@ int main(int argc, char** argv) {
           json.value(agg.duration_hist[b]);
         }
         json.end_array();
+        // Per-check firing detail — deterministic (counts and slot numbers
+        // only), mirrors the dirty-row lines on stdout.
+        json.key("checks");
+        json.begin_object();
+        for (std::size_t c = 0; c < kCheckCount; ++c) {
+          json.key(faults::InvariantMonitor::check_name(c));
+          json.begin_object();
+          json.field("count", agg.checks[c].count);
+          json.field("first_slot",
+                     static_cast<std::int64_t>(agg.checks[c].first_slot));
+          json.field("last_slot",
+                     static_cast<std::int64_t>(agg.checks[c].last_slot));
+          json.end_object();
+        }
+        json.key("open");
+        json.begin_object();
+        json.field("count", agg.open_range.count);
+        json.field("first_onset",
+                   static_cast<std::int64_t>(agg.open_range.first_slot));
+        json.field("last_onset",
+                   static_cast<std::int64_t>(agg.open_range.last_slot));
+        json.end_object();
+        json.end_object();
         json.end_object();
       }
     }
     json.end_array();
     json.end_object();
-    std::ofstream out(chaos_path);
-    if (!out) {
-      std::printf("cannot write %s\n", chaos_path.c_str());
+    bench::end_bench_envelope(json);
+    if (!bench::write_atomic(chaos_path, json.str(), "chaos baseline")) {
       return 2;
     }
-    out << json.str() << '\n';
-    std::printf("chaos baseline written to %s\n", chaos_path.c_str());
   }
 
   sidecar.write("x19_chaos");

@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
                 "is single-threaded)\n");
     threads = 1;
   }
+  sidecar.set_threads(threads);
 
   std::vector<std::size_t> sizes{64, 128, 256, 512, 1024};
   if (full) sizes.push_back(2048);
@@ -211,12 +212,10 @@ int main(int argc, char** argv) {
                   static_cast<double>(parallel_t.total_us)
             : 0.0;
     common::JsonWriter json;
+    bench::begin_bench_envelope(json, "x2_sweep_bench", bench_threads);
     json.begin_object();
-    json.field("experiment", "x2_sweep_bench");
     json.field("n", n);
     json.field("trials", seeds);
-    json.field("host_cores",
-               static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
     json.key("serial");
     json.begin_object();
     json.field("threads", 1);
@@ -246,15 +245,10 @@ int main(int argc, char** argv) {
     json.field("steady_state_alloc_free", steady_free);
     json.end_object();
     json.end_object();
-    std::ofstream out(bench_path);
-    if (!out) {
-      std::printf("cannot write %s\n", bench_path.c_str());
-      return 2;
-    }
-    out << json.str() << '\n';
-    std::printf("sweep bench written to %s (serial %.1f ms, %zu threads "
-                "%.1f ms, speedup %.2fx, results %s)\n",
-                bench_path.c_str(),
+    bench::end_bench_envelope(json);
+    if (!bench::write_atomic(bench_path, json.str(), "sweep bench")) return 2;
+    std::printf("sweep bench: serial %.1f ms, %zu threads %.1f ms, "
+                "speedup %.2fx, results %s\n",
                 static_cast<double>(serial_t.total_us) / 1000.0, bench_threads,
                 static_cast<double>(parallel_t.total_us) / 1000.0, speedup,
                 identical ? "identical" : "DIFFERENT");

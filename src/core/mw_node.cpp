@@ -29,6 +29,7 @@ void MwNode::reserve_peers(std::size_t degree) {
 void MwNode::set_observation(obs::RunObservation* observation) {
   tracer_ = observation != nullptr ? &observation->trace : nullptr;
   obs_metrics_ = observation != nullptr ? &observation->metrics : nullptr;
+  profiler_ = observation != nullptr ? observation->profiler.get() : nullptr;
 }
 
 void MwNode::on_wake(radio::Slot slot) {
@@ -101,6 +102,7 @@ std::int64_t MwNode::chi(radio::Slot now) const {
 
 std::optional<radio::Message> MwNode::begin_slot(radio::Slot slot,
                                                  common::Rng& rng) {
+  SINRCOLOR_PROFILE(profiler_, obs::Phase::kProtocolStep);
   last_slot_ = slot;
   switch (state_) {
     case MwStateKind::kAsleep:

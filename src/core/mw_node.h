@@ -170,6 +170,7 @@ class MwNode final : public radio::Protocol {
   // entry point records its slot in last_slot_ before any transition fires.
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* obs_metrics_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   radio::Slot last_slot_ = 0;
   radio::Slot state_entry_slot_ = 0;
 

@@ -141,6 +141,9 @@ void MwInstance::attach_observation(obs::RunObservation* observation) {
 }
 
 MwRunResult MwInstance::run() {
+  obs::Profiler* const profiler =
+      observation_ != nullptr ? observation_->profiler.get() : nullptr;
+  SINRCOLOR_PROFILE(profiler, obs::Phase::kRun);
   const radio::Slot horizon =
       config_.max_slots > 0 ? config_.max_slots : params_.recommended_max_slots();
 

@@ -16,6 +16,20 @@ std::uint64_t pack_edge(graph::NodeId u, graph::NodeId v) {
 
 }  // namespace
 
+const char* InvariantMonitor::check_name(std::size_t check) {
+  switch (check) {
+    case 0: return "legality";
+    case 1: return "tx_independence";
+    case 2: return "feasibility";
+    default: return "?";
+  }
+}
+
+void InvariantMonitor::note_violation(std::size_t check, radio::Slot slot) {
+  if (check_first_[check] < 0) check_first_[check] = slot;
+  check_last_[check] = slot;
+}
+
 InvariantMonitor::InvariantMonitor(const graph::UnitDiskGraph& graph,
                                    ColorFn color, Options options)
     : graph_(graph), color_(std::move(color)), options_(options) {
@@ -57,6 +71,7 @@ void InvariantMonitor::scan_end_of_slot(radio::Slot slot) {
         const auto [it, fresh] = open_.emplace(pack_edge(v, u), slot);
         if (fresh) {
           ++legality_violations_;
+          note_violation(0, slot);
           if (observation != nullptr) {
             observation->trace.record(slot,
                                       obs::EventKind::kInvariantViolation, v,
@@ -94,6 +109,7 @@ void InvariantMonitor::scan_end_of_slot(radio::Slot slot) {
       if (c == graph::kUncolored || c <= options_.max_color) continue;
       feasibility_flagged_[v] = 1;
       ++feasibility_violations_;
+      note_violation(2, slot);
       if (observation != nullptr) {
         observation->trace.record(slot, obs::EventKind::kInvariantViolation,
                                   v, obs::kNoNode, 2,
@@ -126,6 +142,7 @@ void InvariantMonitor::scan_transmissions(
         continue;
       }
       ++tx_independence_violations_;
+      note_violation(1, slot);
       if (observation != nullptr) {
         observation->trace.record(slot, obs::EventKind::kInvariantViolation,
                                   a, b, 1, static_cast<std::int64_t>(ci));
@@ -143,6 +160,16 @@ InvariantMonitor::Report InvariantMonitor::report() const {
   r.open_conflicts = open_.size();
   for (const radio::Slot d : durations_) {
     r.max_conflict_duration = std::max(r.max_conflict_duration, d);
+  }
+  r.check[0] = {legality_violations_, check_first_[0], check_last_[0]};
+  r.check[1] = {tx_independence_violations_, check_first_[1], check_last_[1]};
+  r.check[2] = {feasibility_violations_, check_first_[2], check_last_[2]};
+  r.open_range.count = open_.size();
+  for (const auto& [edge, onset] : open_) {
+    if (r.open_range.first_slot < 0 || onset < r.open_range.first_slot) {
+      r.open_range.first_slot = onset;
+    }
+    r.open_range.last_slot = std::max(r.open_range.last_slot, onset);
   }
   return r;
 }

@@ -64,7 +64,22 @@ class InvariantMonitor {
   /// observation, when any. Call before Simulator::run().
   void attach(radio::Simulator& sim);
 
+  /// Check ids (EventKind::kInvariantViolation `a` payload, Report::check
+  /// index): 0 legality, 1 tx independence, 2 feasibility.
+  static constexpr std::size_t kCheckCount = 3;
+  /// Stable check name ("legality", "tx_independence", "feasibility").
+  static const char* check_name(std::size_t check);
+
   struct Report {
+    /// Per-check firing count plus the slot range the firings span, so a
+    /// dirty verdict can say WHICH invariant broke and WHEN without
+    /// replaying the trace. Slots are -1 while the count is 0.
+    struct CheckRange {
+      std::size_t count = 0;
+      radio::Slot first_slot = -1;
+      radio::Slot last_slot = -1;
+    };
+
     /// Conflict episodes opened (distinct (edge, onset) pairs).
     std::size_t legality_violations = 0;
     /// Adjacent same-color beacon pairs on the air.
@@ -76,6 +91,10 @@ class InvariantMonitor {
     /// Conflict episodes still open when the run ended.
     std::size_t open_conflicts = 0;
     radio::Slot max_conflict_duration = 0;
+    /// Indexed by check id (see check_name); counts match the totals above.
+    CheckRange check[kCheckCount];
+    /// Onset-slot range of the conflicts still open at end of run.
+    CheckRange open_range;
 
     /// No invariant ever fired — the expected outcome of a fault-free run.
     bool clean() const {
@@ -96,6 +115,9 @@ class InvariantMonitor {
   void scan_end_of_slot(radio::Slot slot);
   void scan_transmissions(radio::Slot slot,
                           std::span<const radio::TxRecord> txs);
+  /// Stamps the check's firing-slot range (every violation site calls this
+  /// exactly once per counted violation).
+  void note_violation(std::size_t check, radio::Slot slot);
 
   const graph::UnitDiskGraph& graph_;
   const ColorFn color_;
@@ -109,6 +131,9 @@ class InvariantMonitor {
   std::size_t legality_violations_ = 0;
   std::size_t tx_independence_violations_ = 0;
   std::size_t feasibility_violations_ = 0;
+  /// First/last slot each check fired (index = check id); -1 until it does.
+  radio::Slot check_first_[kCheckCount] = {-1, -1, -1};
+  radio::Slot check_last_[kCheckCount] = {-1, -1, -1};
   radio::Slot last_slot_ = 0;
 };
 

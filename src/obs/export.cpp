@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/json.h"
 #include "common/table.h"
+#include "obs/profiler.h"
 
 namespace sinrcolor::obs {
 
@@ -206,7 +207,8 @@ bool read_jsonl(std::istream& in, TraceMeta& meta,
 }
 
 void write_chrome_trace(const TraceMeta& meta,
-                        std::span<const TraceEvent> events, std::ostream& out) {
+                        std::span<const TraceEvent> events, std::ostream& out,
+                        const Profiler* profiler) {
   common::JsonWriter json;
   json.begin_object();
   json.field("displayTimeUnit", "ms");
@@ -350,6 +352,67 @@ void write_chrome_trace(const TraceMeta& meta,
   // (leader/colored/dead) stay visible.
   for (const auto& [v, interval] : std::map<NodeId, Open>(open)) {
     complete(v, interval.name, interval.start, max_slot + 1);
+  }
+
+  // Profiler tracks: a second process (pid 1) so phase timing never
+  // interleaves with the slot-time node tracks (real microseconds vs the
+  // slot==microsecond convention above). One tid per recorded phase: an
+  // aggregate "X" slice carrying the stats and a "C" counter of total_us.
+  if (profiler != nullptr && profiler->recorded() > 0) {
+    json.begin_object();
+    json.field("name", "process_name");
+    json.field("ph", "M");
+    json.field("pid", 1);
+    json.field("tid", 0);
+    json.key("args");
+    json.begin_object();
+    json.field("name", "profiler (phase totals, us)");
+    json.end_object();
+    json.end_object();
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      const Phase phase = static_cast<Phase>(i);
+      const Profiler::Snapshot snap = profiler->stats(phase);
+      if (snap.count == 0) continue;
+      const std::string name = to_string(phase);
+      json.begin_object();
+      json.field("name", "thread_name");
+      json.field("ph", "M");
+      json.field("pid", 1);
+      json.field("tid", static_cast<std::uint64_t>(i));
+      json.key("args");
+      json.begin_object();
+      json.field("name", "phase " + name);
+      json.end_object();
+      json.end_object();
+      json.begin_object();
+      json.field("name", name);
+      json.field("ph", "X");
+      json.field("ts", 0);
+      json.field("dur", snap.total_us);
+      json.field("pid", 1);
+      json.field("tid", static_cast<std::uint64_t>(i));
+      json.key("args");
+      json.begin_object();
+      json.field("count", snap.count);
+      json.field("total_us", snap.total_us);
+      json.field("self_us", snap.self_us);
+      json.field("max_us", snap.max_us);
+      json.field("p50_us", snap.p50_us);
+      json.field("p95_us", snap.p95_us);
+      json.end_object();
+      json.end_object();
+      json.begin_object();
+      json.field("name", "phase_total_us:" + name);
+      json.field("ph", "C");
+      json.field("ts", 0);
+      json.field("pid", 1);
+      json.field("tid", static_cast<std::uint64_t>(i));
+      json.key("args");
+      json.begin_object();
+      json.field("total_us", snap.total_us);
+      json.end_object();
+      json.end_object();
+    }
   }
 
   json.end_array();

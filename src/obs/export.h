@@ -43,11 +43,17 @@ void write_jsonl(const TraceMeta& meta, std::span<const TraceEvent> events,
 bool read_jsonl(std::istream& in, TraceMeta& meta,
                 std::vector<TraceEvent>& events, std::string* error = nullptr);
 
+class Profiler;
+
 /// Chrome trace-event JSON ({"traceEvents":[...]}): open in chrome://tracing
 /// or https://ui.perfetto.dev. One slot maps to one microsecond of trace
-/// time; pid 0 is the run, tid v is node v.
+/// time; pid 0 is the run, tid v is node v. A non-null `profiler` adds a
+/// second process (pid 1) with one track per recorded phase: an aggregate
+/// slice carrying count/total/self/p50/p95 in its args plus a counter track
+/// of the phase's total microseconds.
 void write_chrome_trace(const TraceMeta& meta,
-                        std::span<const TraceEvent> events, std::ostream& out);
+                        std::span<const TraceEvent> events, std::ostream& out,
+                        const Profiler* profiler = nullptr);
 
 /// Per-node lifecycle reconstructed from the event stream alone.
 struct NodeDigest {

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/json.h"
@@ -31,6 +32,21 @@ void Histogram::record(double x) {
 
 double Histogram::mean() const {
   return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double Histogram::quantile_upper_bound(double q) const {
+  if (total_ == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      return i < edges_.size() ? edges_[i] : max_;
+    }
+  }
+  return max_;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

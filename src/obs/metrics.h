@@ -75,6 +75,13 @@ class Histogram {
   double max() const { return max_; }  ///< 0 when empty
   double mean() const;
 
+  /// Upper bound of the bucket holding the q-quantile (0 < q <= 1): the
+  /// smallest edge whose cumulative count reaches ceil(q * total). Samples
+  /// in the overflow bucket report max(); an empty histogram reports 0.
+  /// Coarse by construction (bucket resolution), but cheap and allocation-
+  /// free — the profiler's p50/p95 come from here.
+  double quantile_upper_bound(double q) const;
+
  private:
   std::vector<double> edges_;
   std::vector<std::uint64_t> counts_;

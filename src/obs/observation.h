@@ -1,10 +1,15 @@
-// RunObservation bundles the two sinks a harness attaches to an observed
-// run: the event trace and the metrics registry. Drivers take a nullable
-// RunObservation* — null means "run dark" and costs one pointer test per
-// would-be emission.
+// RunObservation bundles the sinks a harness attaches to an observed run:
+// the event trace, the metrics registry, and (opt-in) the slot-phase
+// profiler. Drivers take a nullable RunObservation* — null means "run dark"
+// and costs one pointer test per would-be emission. The profiler is a second
+// opt-in inside an observation: it stays null until enable_profiler(), so
+// traced-but-unprofiled runs skip the clock reads entirely.
 #pragma once
 
+#include <memory>
+
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace sinrcolor::obs {
@@ -13,8 +18,16 @@ struct RunObservation {
   explicit RunObservation(std::size_t trace_capacity = std::size_t{1} << 20)
       : trace(trace_capacity) {}
 
+  /// Installs the slot-phase profiler (idempotent). Call before the run
+  /// starts; drivers latch the pointer when they attach the observation.
+  Profiler& enable_profiler() {
+    if (profiler == nullptr) profiler = std::make_unique<Profiler>();
+    return *profiler;
+  }
+
   Tracer trace;
   MetricsRegistry metrics;
+  std::unique_ptr<Profiler> profiler;  ///< null = profiling off
 };
 
 }  // namespace sinrcolor::obs

@@ -107,6 +107,7 @@ void SinrInterferenceModel::resolve_naive(
     const std::vector<TxRecord>& transmissions,
     const std::vector<bool>& listening,
     std::vector<std::optional<Message>>& deliveries) const {
+  SINRCOLOR_PROFILE(profiler_, obs::Phase::kNaiveResolve);
   txs_.clear();
   for (const auto& t : transmissions) {
     txs_.push_back({graph_.position(t.sender)});
@@ -286,6 +287,7 @@ void FadingSinrInterferenceModel::resolve_naive(
     Slot slot, const std::vector<TxRecord>& transmissions,
     const std::vector<bool>& listening,
     std::vector<std::optional<Message>>& deliveries) const {
+  SINRCOLOR_PROFILE(profiler_, obs::Phase::kNaiveResolve);
   const std::size_t real = transmissions.size();
   sinr::SinrParams phys = params_;
   const std::span<const Jammer> jammers =

@@ -24,6 +24,7 @@
 #include "common/task_pool.h"
 #include "graph/unit_disk_graph.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "radio/fault_injection.h"
 #include "radio/message.h"
 #include "sinr/fading.h"
@@ -78,9 +79,15 @@ class InterferenceModel {
     disturbance_ = disturbance;
   }
 
+  /// Attaches the slot-phase profiler (null detaches — the default). The
+  /// simulator latches this at run() start; SINR media forward it to their
+  /// field engine so per-shard kFieldAccum scopes land in the same sink.
+  virtual void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
  protected:
   obs::Histogram* margin_histogram_ = nullptr;
   const ChannelDisturbance* disturbance_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 class SinrInterferenceModel final : public InterferenceModel {
@@ -97,6 +104,11 @@ class SinrInterferenceModel final : public InterferenceModel {
   const char* name() const override { return "sinr"; }
   const sinr::SinrParams& params() const { return params_; }
   const ResolveOptions& options() const { return options_; }
+
+  void set_profiler(obs::Profiler* profiler) override {
+    InterferenceModel::set_profiler(profiler);
+    engine_.set_profiler(profiler);
+  }
 
  private:
   void resolve_naive(const std::vector<TxRecord>& transmissions,
@@ -132,6 +144,11 @@ class FadingSinrInterferenceModel final : public InterferenceModel {
   const char* name() const override { return "sinr+fading"; }
   const sinr::FadingSpec& fading() const { return fading_; }
   const ResolveOptions& options() const { return options_; }
+
+  void set_profiler(obs::Profiler* profiler) override {
+    InterferenceModel::set_profiler(profiler);
+    engine_.set_profiler(profiler);
+  }
 
  private:
   void resolve_naive(Slot slot, const std::vector<TxRecord>& transmissions,

@@ -101,6 +101,11 @@ RunMetrics Simulator::run(Slot max_slots) {
 
   obs::Tracer* const tracer =
       observation_ != nullptr ? &observation_->trace : nullptr;
+  // Latch the profiler here (not in set_observation) so enabling it at any
+  // point before run() works; the model forwards it to the field engine.
+  obs::Profiler* const profiler =
+      observation_ != nullptr ? observation_->profiler.get() : nullptr;
+  model_->set_profiler(profiler);
   obs::Histogram* concurrent_tx_hist = nullptr;
   obs::Counter* drop_counter = nullptr;
   if (observation_ != nullptr) {
@@ -135,88 +140,93 @@ RunMetrics Simulator::run(Slot max_slots) {
   for (Slot slot = 0; slot < max_slots &&
                       (undecided > 0 || joins_pending > 0 || settle_left > 0);
        ++slot) {
+    SINRCOLOR_PROFILE(profiler, obs::Phase::kSlot);
     metrics.slots_executed = slot + 1;
     const std::uint64_t allocs_at_slot_start = common::thread_heap_allocs();
 
     // 0. Channel-level faults: one disturbance query per slot, forwarded to
     // the medium (null = clean channel, the zero-cost common case).
     if (fault_injector_ != nullptr) {
+      SINRCOLOR_PROFILE(profiler, obs::Phase::kFaultInject);
       model_->set_disturbance(fault_injector_->channel_disturbance(slot));
     }
 
     // 1. Failures, joins, wake-ups and transmission decisions.
     transmissions.clear();
-    for (std::size_t v = 0; v < n; ++v) {
-      if (!dead[v] && failure_slot_[v] == slot) {
-        dead[v] = true;
-        metrics.death_slot[v] = slot;
-        ++metrics.failed_nodes;
-        // A dead node can no longer decide; stop waiting for it.
-        if (metrics.decision_slot[v] < 0) --undecided;
-        SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kFailure,
-                        static_cast<graph::NodeId>(v));
-      }
-      if (join_slot_[v] == slot) {
-        --joins_pending;
-        ++metrics.joined_nodes;
-        SINRCOLOR_TRACE(tracer, slot,
-                        dead[v] ? obs::EventKind::kRevival
-                                : obs::EventKind::kJoin,
-                        static_cast<graph::NodeId>(v));
-        if (dead[v]) {
-          // Revival: the node rejoins fresh. It leaves the failed count and
-          // any earlier decision is void, so it is counted exactly once in
-          // whichever of failed/stalled/decided it ends the run as. Its
-          // death decremented `undecided` (directly if it died undecided,
-          // via its decision otherwise), so the rejoin re-increments.
-          dead[v] = false;
-          metrics.death_slot[v] = -1;
-          --metrics.failed_nodes;
-          metrics.decision_slot[v] = -1;
-          ++undecided;
-        } else {
-          // A late arrival was never awake and still counts as undecided
-          // from initialization; nothing to rebalance.
-          SINRCOLOR_CHECK_MSG(!awake[v], "join slot hit an awake node");
-        }
-        awake[v] = true;
-        protocols_[v]->on_wake(slot);
-      }
-      if (dead[v]) {
-        listening[v] = false;
-        continue;
-      }
-      if (!awake[v]) {
-        if (wakeups_[v] == slot && !schedule_suppressed[v]) {
-          awake[v] = true;
-          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kWake,
+    {
+      SINRCOLOR_PROFILE(profiler, obs::Phase::kTxDecide);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!dead[v] && failure_slot_[v] == slot) {
+          dead[v] = true;
+          metrics.death_slot[v] = slot;
+          ++metrics.failed_nodes;
+          // A dead node can no longer decide; stop waiting for it.
+          if (metrics.decision_slot[v] < 0) --undecided;
+          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kFailure,
                           static_cast<graph::NodeId>(v));
+        }
+        if (join_slot_[v] == slot) {
+          --joins_pending;
+          ++metrics.joined_nodes;
+          SINRCOLOR_TRACE(tracer, slot,
+                          dead[v] ? obs::EventKind::kRevival
+                                  : obs::EventKind::kJoin,
+                          static_cast<graph::NodeId>(v));
+          if (dead[v]) {
+            // Revival: the node rejoins fresh. It leaves the failed count and
+            // any earlier decision is void, so it is counted exactly once in
+            // whichever of failed/stalled/decided it ends the run as. Its
+            // death decremented `undecided` (directly if it died undecided,
+            // via its decision otherwise), so the rejoin re-increments.
+            dead[v] = false;
+            metrics.death_slot[v] = -1;
+            --metrics.failed_nodes;
+            metrics.decision_slot[v] = -1;
+            ++undecided;
+          } else {
+            // A late arrival was never awake and still counts as undecided
+            // from initialization; nothing to rebalance.
+            SINRCOLOR_CHECK_MSG(!awake[v], "join slot hit an awake node");
+          }
+          awake[v] = true;
           protocols_[v]->on_wake(slot);
-        } else {
+        }
+        if (dead[v]) {
           listening[v] = false;
           continue;
         }
-      }
-      ++metrics.awake_slots[v];
-      auto tx = protocols_[v]->begin_slot(slot, rngs_[v]);
-      if (tx.has_value()) {
-        tx->sender = static_cast<graph::NodeId>(v);
-        transmissions.push_back({static_cast<graph::NodeId>(v), *tx});
-        listening[v] = false;
-        ++metrics.tx_count[v];
-        SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kTx,
-                        static_cast<graph::NodeId>(v), tx->target,
-                        static_cast<std::int32_t>(tx->kind), tx->color_class);
-      } else {
-        listening[v] = true;
-        // Transient deafness: the receiver is off, but the node still ran
-        // its slot (protocol state and the interference field are
-        // unaffected — deafness is a pure receiver fault).
-        if (fault_injector_ != nullptr &&
-            fault_injector_->receiver_disabled(slot,
-                                               static_cast<graph::NodeId>(v))) {
+        if (!awake[v]) {
+          if (wakeups_[v] == slot && !schedule_suppressed[v]) {
+            awake[v] = true;
+            SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kWake,
+                            static_cast<graph::NodeId>(v));
+            protocols_[v]->on_wake(slot);
+          } else {
+            listening[v] = false;
+            continue;
+          }
+        }
+        ++metrics.awake_slots[v];
+        auto tx = protocols_[v]->begin_slot(slot, rngs_[v]);
+        if (tx.has_value()) {
+          tx->sender = static_cast<graph::NodeId>(v);
+          transmissions.push_back({static_cast<graph::NodeId>(v), *tx});
           listening[v] = false;
-          ++metrics.fault_deaf_slots;
+          ++metrics.tx_count[v];
+          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kTx,
+                          static_cast<graph::NodeId>(v), tx->target,
+                          static_cast<std::int32_t>(tx->kind), tx->color_class);
+        } else {
+          listening[v] = true;
+          // Transient deafness: the receiver is off, but the node still ran
+          // its slot (protocol state and the interference field are
+          // unaffected — deafness is a pure receiver fault).
+          if (fault_injector_ != nullptr &&
+              fault_injector_->receiver_disabled(
+                  slot, static_cast<graph::NodeId>(v))) {
+            listening[v] = false;
+            ++metrics.fault_deaf_slots;
+          }
         }
       }
     }
@@ -234,11 +244,15 @@ RunMetrics Simulator::run(Slot max_slots) {
     // 2. Reception resolution and delivery.
     if (!transmissions.empty()) {
       std::fill(deliveries.begin(), deliveries.end(), std::nullopt);
-      model_->resolve(slot, transmissions, listening, deliveries);
+      {
+        SINRCOLOR_PROFILE(profiler, obs::Phase::kResolve);
+        model_->resolve(slot, transmissions, listening, deliveries);
+      }
       // Per-link fault drops: an otherwise successful decode is suppressed
       // before the protocol sees it. Attributed to the fault (kFaultDrop),
       // not to interference (excluded from the kDrop pass below).
       if (fault_injector_ != nullptr) {
+        SINRCOLOR_PROFILE(profiler, obs::Phase::kFaultInject);
         auto& fault_dropped = scratch_.fault_dropped;
         for (std::size_t v = 0; v < n; ++v) {
           if (!deliveries[v].has_value()) continue;
@@ -254,15 +268,19 @@ RunMetrics Simulator::run(Slot max_slots) {
           }
         }
       }
-      for (std::size_t v = 0; v < n; ++v) {
-        if (deliveries[v].has_value()) {
-          SINRCOLOR_DCHECK(listening[v]);
-          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kDelivery,
-                          static_cast<graph::NodeId>(v), deliveries[v]->sender,
-                          static_cast<std::int32_t>(deliveries[v]->kind),
-                          deliveries[v]->color_class);
-          protocols_[v]->on_receive(slot, *deliveries[v]);
-          ++metrics.total_deliveries;
+      {
+        SINRCOLOR_PROFILE(profiler, obs::Phase::kDeliver);
+        for (std::size_t v = 0; v < n; ++v) {
+          if (deliveries[v].has_value()) {
+            SINRCOLOR_DCHECK(listening[v]);
+            SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kDelivery,
+                            static_cast<graph::NodeId>(v),
+                            deliveries[v]->sender,
+                            static_cast<std::int32_t>(deliveries[v]->kind),
+                            deliveries[v]->color_class);
+            protocols_[v]->on_receive(slot, *deliveries[v]);
+            ++metrics.total_deliveries;
+          }
         }
       }
       // Collision attribution: a listener covered by >= 1 transmitter that
@@ -297,17 +315,20 @@ RunMetrics Simulator::run(Slot max_slots) {
     }
 
     // 3. End-of-slot transitions and decision tracking.
-    for (std::size_t v = 0; v < n; ++v) {
-      if (!awake[v] || dead[v]) continue;
-      protocols_[v]->end_slot(slot);
-      if (metrics.decision_slot[v] < 0 && protocols_[v]->decided()) {
-        metrics.decision_slot[v] = slot;
-        --undecided;
+    {
+      SINRCOLOR_PROFILE(profiler, obs::Phase::kEndSlot);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!awake[v] || dead[v]) continue;
+        protocols_[v]->end_slot(slot);
+        if (metrics.decision_slot[v] < 0 && protocols_[v]->decided()) {
+          metrics.decision_slot[v] = slot;
+          --undecided;
+        }
       }
+      // This slot's state (colors, decisions) is now final: run the
+      // end-of-slot observers (runtime invariant monitor).
+      for (const auto& observer : end_observers_) observer(slot);
     }
-    // This slot's state (colors, decisions) is now final: run the
-    // end-of-slot observers (runtime invariant monitor).
-    for (const auto& observer : end_observers_) observer(slot);
 
     // Settle window: count down only while the run is quiescent; any
     // pending work (a revival re-incrementing `undecided`) rearms it.

@@ -54,6 +54,9 @@ void RecoveryInstance::attach_observation(obs::RunObservation* observation) {
 }
 
 core::MwRunResult RecoveryInstance::run() {
+  obs::Profiler* const profiler =
+      observation_ != nullptr ? observation_->profiler.get() : nullptr;
+  SINRCOLOR_PROFILE(profiler, obs::Phase::kRun);
   const core::RecoveryOptions& rec = config_.recovery;
   radio::Slot horizon = config_.max_slots > 0 ? config_.max_slots
                                               : params_.recommended_max_slots();

@@ -29,6 +29,7 @@ SelfHealingNode::SelfHealingNode(graph::NodeId id, const core::MwParams& params,
 
 void SelfHealingNode::set_observation(obs::RunObservation* observation) {
   observation_ = observation;
+  profiler_ = observation != nullptr ? observation->profiler.get() : nullptr;
   if (inner_ != nullptr) inner_->set_observation(observation);
 }
 
@@ -144,6 +145,9 @@ void SelfHealingNode::repair_collision(radio::Slot slot) {
 
 std::optional<radio::Message> SelfHealingNode::begin_slot(radio::Slot slot,
                                                           common::Rng& rng) {
+  // kRecovery wraps the whole robust slot (join machine, failure detection
+  // and the inner step); the inner MwNode nests kProtocolStep under it.
+  SINRCOLOR_PROFILE(profiler_, obs::Phase::kRecovery);
   SINRCOLOR_CHECK_MSG(join_phase_ != JoinPhase::kInactive || inner_ != nullptr,
                       "begin_slot on a sleeping self-healing node");
   last_slot_ = slot;

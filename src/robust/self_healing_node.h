@@ -150,6 +150,7 @@ class SelfHealingNode final : public radio::Protocol {
   // Observability sinks (null when unobserved); last_slot_ lets
   // transition_to stamp events although join_receive carries no slot.
   obs::RunObservation* observation_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   radio::Slot last_slot_ = 0;
 
   std::unique_ptr<core::MwNode> inner_;

@@ -40,6 +40,7 @@
 #include "common/task_pool.h"
 #include "geometry/grid_index.h"
 #include "geometry/point.h"
+#include "obs/profiler.h"
 #include "sinr/medium_field.h"
 #include "sinr/params.h"
 
@@ -182,7 +183,7 @@ class FieldEngine {
         1, std::min(pool != nullptr ? pool->thread_count() : 1,
                     covered_.size()));
     shards_.resize(std::max(shards_.size(), shard_count));
-    const auto run_shard = [&](std::size_t s) {
+    const auto shard_body = [&](std::size_t s) {
       Shard& shard = shards_[s];
       shard.decodes.clear();
       const auto [begin, end] =
@@ -202,6 +203,20 @@ class FieldEngine {
         }
       }
     };
+    // One kFieldAccum scope per shard when profiling. The scope lives in this
+    // wrapper — NOT inside shard_body — so the unprofiled path runs the hot
+    // loop with no scope object bracketing it (a live non-trivial destructor
+    // around the loop measurably pessimizes its codegen). Profiler::record is
+    // internally synchronized, and a worker-thread scope roots its own
+    // thread-local stack — it never perturbs the caller's nesting.
+    const auto run_shard = [&](std::size_t s) {
+      if (profiler_ == nullptr) {
+        shard_body(s);
+      } else {
+        SINRCOLOR_PROFILE(profiler_, obs::Phase::kFieldAccum);
+        shard_body(s);
+      }
+    };
     if (shard_count == 1) {
       run_shard(0);
     } else {
@@ -214,6 +229,10 @@ class FieldEngine {
                      shards_[s].decodes.end());
     }
   }
+
+  /// Attaches the slot-phase profiler (null = off); one kFieldAccum scope is
+  /// recorded per shard per resolve. Timing only — decodes are unaffected.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
  private:
   void collect_covered(std::span<const Transmitter> txs,
@@ -248,6 +267,7 @@ class FieldEngine {
   std::vector<std::uint64_t> touched_;
   std::vector<std::uint32_t> covered_;
   std::vector<Shard> shards_;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace sinrcolor::sinr

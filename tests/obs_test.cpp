@@ -170,6 +170,88 @@ TEST(MetricsRegistry, NamesAreStableHandles) {
   EXPECT_EQ(registry.to_json(), registry.to_json());
 }
 
+// --- export edge cases -------------------------------------------------------
+
+TEST(JsonlExport, EmptyTraceRoundTripsAndRendersChromeSkeleton) {
+  obs::TraceMeta meta;
+  meta.node_count = 3;
+  meta.scenario = "empty";
+
+  std::stringstream jsonl;
+  obs::write_jsonl(meta, {}, jsonl);
+  obs::TraceMeta parsed_meta;
+  std::vector<obs::TraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::read_jsonl(jsonl, parsed_meta, parsed, &error)) << error;
+  EXPECT_EQ(parsed_meta, meta);
+  EXPECT_TRUE(parsed.empty());
+
+  // The Chrome trace of an empty run is still a valid skeleton: process
+  // metadata, no node tracks (and no profiler process without a profiler).
+  std::stringstream chrome;
+  obs::write_chrome_trace(meta, {}, chrome);
+  const std::string out = chrome.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("process_name"), std::string::npos);
+  EXPECT_EQ(out.find("thread_name"), std::string::npos);
+  EXPECT_EQ(out.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(JsonlExport, RingOverflowAccountingSurvivesExport) {
+  // After the ring drops the oldest events, the exported header must still
+  // satisfy recorded - dropped == events held (the invariant
+  // tools/lint/trace_schema_check.py enforces on the artifact).
+  obs::Tracer tracer(4);
+  for (std::int64_t s = 0; s < 9; ++s) {
+    tracer.record(s, obs::EventKind::kTx, static_cast<obs::NodeId>(0));
+  }
+  obs::TraceMeta meta;
+  meta.node_count = 1;
+  meta.recorded = tracer.recorded();
+  meta.dropped = tracer.dropped();
+
+  std::stringstream jsonl;
+  obs::write_jsonl(meta, tracer.events(), jsonl);
+  obs::TraceMeta parsed_meta;
+  std::vector<obs::TraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::read_jsonl(jsonl, parsed_meta, parsed, &error)) << error;
+  EXPECT_EQ(parsed_meta.recorded, 9u);
+  EXPECT_EQ(parsed_meta.dropped, 5u);
+  EXPECT_EQ(parsed_meta.recorded - parsed_meta.dropped, parsed.size());
+  // The surviving tail keeps emission order (slots 5..8).
+  EXPECT_EQ(parsed.front().slot, 5);
+  EXPECT_EQ(parsed.back().slot, 8);
+}
+
+TEST(ChromeTrace, ProfilerTracksLandInSecondProcess) {
+  obs::Profiler profiler;
+  profiler.record(obs::Phase::kSlot, 120, 100);
+  profiler.record(obs::Phase::kResolve, 20, 20);
+  obs::TraceMeta meta;
+  meta.node_count = 1;
+
+  std::stringstream chrome;
+  obs::write_chrome_trace(meta, {}, chrome, &profiler);
+  const std::string out = chrome.str();
+  EXPECT_NE(out.find("profiler (phase totals, us)"), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(out.find("phase slot"), std::string::npos);        // thread name
+  EXPECT_NE(out.find("phase resolve"), std::string::npos);
+  EXPECT_NE(out.find("phase_total_us:slot"), std::string::npos);  // counter
+  EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(out.find("\"self_us\":100"), std::string::npos);
+  // Silent phases emit no track.
+  EXPECT_EQ(out.find("phase deliver"), std::string::npos);
+
+  // A profiler that never recorded adds nothing — same bytes as no profiler.
+  obs::Profiler idle;
+  std::stringstream with_idle, without;
+  obs::write_chrome_trace(meta, {}, with_idle, &idle);
+  obs::write_chrome_trace(meta, {}, without, nullptr);
+  EXPECT_EQ(with_idle.str(), without.str());
+}
+
 // --- digest / end-to-end agreement with the simulator -----------------------
 
 TEST(Digest, MatchesRunMetricsExactly) {

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Perf-artifact trajectory and regression report over sinrcolor.bench.v1
+envelopes (bench/bench_util.h; schema gate: tools/lint/bench_schema_check.py).
+
+Usage:
+  bench_report.py table PATH [PATH...]
+  bench_report.py diff BASE NEW [--tolerance=0.10] [--min-base=1000]
+
+Every PATH is an envelope *.json file or a directory scanned (sorted, non-
+recursive) for them. Metrics are the numeric leaves of the envelope payload,
+flattened to dotted keys ("serial.wall_us", "rows.3.drop_rate"); a metric is
+TIME-LIKE when its leaf name ends in `_us` or `_ms` or contains `wall`.
+
+table — one row per time-like metric of every envelope: experiment, git sha,
+thread count, metric, value. This is the trajectory artifact CI uploads so a
+perf history is one `git log`-shaped glance, not an artifact spelunk.
+
+diff — compares the time-like metrics of BASE and NEW, matched by
+(experiment, metric). A metric REGRESSES when new > base * (1 + tolerance)
+and base >= min-base (raw units; sub-threshold timings are noise, not
+signal). Improvements and sub-threshold moves are reported but never fail.
+Metrics or experiments present on only one side are reported as notes.
+
+Exit status: 0 no regression, 1 at least one metric regressed, 2 invocation
+problems (unknown flag, missing/unreadable/invalid file; one-line stderr
+diagnostic — the shared check_util contract).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "lint"))
+
+import check_util  # noqa: E402
+
+TOOL = "bench_report"
+ENVELOPE_KEYS = {"schema", "experiment", "git_sha", "host", "threads",
+                 "payload"}
+
+
+def fail(why: str) -> "SystemExit":
+    print(f"{TOOL}: {why}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_envelope(path: str) -> dict:
+    problem = check_util.precheck(TOOL, path)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        raise SystemExit(2)
+    with open(path, encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as e:
+            raise fail(f"{path}: not valid JSON: {e}")
+    if not isinstance(data, dict) or not ENVELOPE_KEYS.issubset(data):
+        raise fail(f"{path}: not a sinrcolor.bench.v1 envelope "
+                   "(run tools/lint/bench_schema_check.py)")
+    return data
+
+
+def collect(path: str) -> list[str]:
+    """Envelope files under `path` (a file, or a directory scanned sorted)."""
+    if os.path.isdir(path):
+        return [os.path.join(path, name) for name in sorted(os.listdir(path))
+                if name.endswith(".json")]
+    return [path]
+
+
+def flatten(value, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a payload as {dotted.key: value}; bools excluded."""
+    out: dict[str, float] = {}
+    if isinstance(value, dict):
+        items = value.items()
+    elif isinstance(value, list):
+        items = ((str(i), v) for i, v in enumerate(value))
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        return {prefix: float(value)}
+    else:
+        return out
+    for key, child in items:
+        out.update(flatten(child, f"{prefix}.{key}" if prefix else key))
+    return out
+
+
+def time_like(key: str) -> bool:
+    leaf = key.rsplit(".", 1)[-1]
+    return leaf.endswith("_us") or leaf.endswith("_ms") or "wall" in leaf
+
+
+def time_metrics(envelope: dict) -> dict[str, float]:
+    return {k: v for k, v in flatten(envelope["payload"]).items()
+            if time_like(k)}
+
+
+def cmd_table(paths: list[str]) -> int:
+    rows = []
+    for path in paths:
+        for file in collect(path):
+            env = load_envelope(file)
+            for key, value in sorted(time_metrics(env).items()):
+                rows.append((env["experiment"], env["git_sha"],
+                             str(env["threads"]), key, f"{value:.0f}"))
+    if not rows:
+        raise fail("no time-like metrics found in any envelope")
+    headers = ("experiment", "git_sha", "threads", "metric", "value")
+    widths = [max(len(headers[c]), max(len(r[c]) for r in rows))
+              for c in range(len(headers))]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return 0
+
+
+def index_by_experiment(path: str) -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for file in collect(path):
+        env = load_envelope(file)
+        if env["experiment"] in out:
+            raise fail(f"{path}: duplicate experiment {env['experiment']!r}")
+        out[env["experiment"]] = env
+    return out
+
+
+def cmd_diff(base_path: str, new_path: str, tolerance: float,
+             min_base: float) -> int:
+    base = index_by_experiment(base_path)
+    new = index_by_experiment(new_path)
+    regressions = 0
+    for name in sorted(set(base) | set(new)):
+        if name not in base or name not in new:
+            side = "base" if name in base else "new"
+            print(f"note: experiment {name} only in {side}")
+            continue
+        b, n = time_metrics(base[name]), time_metrics(new[name])
+        for key in sorted(set(b) | set(n)):
+            if key not in b or key not in n:
+                side = "base" if key in b else "new"
+                print(f"note: {name}.{key} only in {side}")
+                continue
+            if b[key] < min_base or b[key] <= 0.0:
+                continue  # below the noise floor — never judged
+            ratio = n[key] / b[key]
+            delta = f"{(ratio - 1.0) * 100.0:+.1f}%"
+            if ratio > 1.0 + tolerance:
+                regressions += 1
+                print(f"REGRESSION {name}.{key}: "
+                      f"{b[key]:.0f} -> {n[key]:.0f} ({delta})")
+            else:
+                print(f"ok {name}.{key}: "
+                      f"{b[key]:.0f} -> {n[key]:.0f} ({delta})")
+    verdict = (f"{regressions} regression(s) beyond "
+               f"{tolerance * 100.0:.0f}% tolerance"
+               if regressions else "no regressions")
+    print(f"{TOOL}: {verdict}")
+    return 1 if regressions else 0
+
+
+def main(argv: list[str]) -> int:
+    args = []
+    tolerance, min_base = 0.10, 1000.0
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--min-base="):
+            min_base = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            raise fail(f"unknown flag {arg}")
+        else:
+            args.append(arg)
+    if len(args) >= 2 and args[0] == "table":
+        return cmd_table(args[1:])
+    if len(args) == 3 and args[0] == "diff":
+        return cmd_diff(args[1], args[2], tolerance, min_base)
+    print(__doc__.strip().splitlines()[4].strip(), file=sys.stderr)
+    print(__doc__.strip().splitlines()[5].strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_report: payload flattening, time-like metric
+selection, trajectory table, and the diff's regression contract (exit 0/1/2).
+Run directly or via ctest (test name `benchreport.unit`)."""
+
+import copy
+import io
+import json
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_report  # noqa: E402
+
+ENVELOPE = {
+    "schema": "sinrcolor.bench.v1",
+    "experiment": "x2_sweep_bench",
+    "git_sha": "0123abcd4567",
+    "host": {"name": "ci", "cores": 4},
+    "threads": 4,
+    "payload": {
+        "n": 1024,
+        "serial": {"threads": 1, "wall_us": 100000.0, "p50_us": 50000.0},
+        "threaded": {"threads": 4, "wall_us": 30000.0},
+        "speedup": 3.3,
+        "results_identical": True,
+        "rows": [{"drop_rate": 0.1, "p95_us": 2000.0}],
+    },
+}
+
+
+class FlattenTest(unittest.TestCase):
+    def test_flattens_nested_dicts_lists_and_skips_bools(self):
+        flat = bench_report.flatten(ENVELOPE["payload"])
+        self.assertEqual(flat["serial.wall_us"], 100000.0)
+        self.assertEqual(flat["rows.0.p95_us"], 2000.0)
+        self.assertEqual(flat["speedup"], 3.3)
+        self.assertNotIn("results_identical", flat)
+
+    def test_time_like_selects_us_ms_wall_leaves(self):
+        self.assertTrue(bench_report.time_like("serial.wall_us"))
+        self.assertTrue(bench_report.time_like("rows.0.p95_us"))
+        self.assertTrue(bench_report.time_like("total_wall"))
+        self.assertTrue(bench_report.time_like("step_ms"))
+        self.assertFalse(bench_report.time_like("speedup"))
+        self.assertFalse(bench_report.time_like("n"))
+        # "threads" under a dir named *_us must not leak in via the prefix.
+        self.assertFalse(bench_report.time_like("serial_us.threads"))
+
+    def test_time_metrics_filters_payload(self):
+        metrics = bench_report.time_metrics(ENVELOPE)
+        self.assertIn("serial.wall_us", metrics)
+        self.assertNotIn("speedup", metrics)
+        self.assertNotIn("serial.threads", metrics)
+
+
+class CliTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.mkdtemp()
+        self.addCleanup(shutil.rmtree, self.dir)
+
+    def write(self, subdir, name, envelope):
+        path = os.path.join(self.dir, subdir)
+        os.makedirs(path, exist_ok=True)
+        with open(os.path.join(path, name), "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh)
+        return path
+
+    def run_main(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        try:
+            with redirect_stdout(out), redirect_stderr(err):
+                code = bench_report.main(["bench_report.py"] + argv)
+        except SystemExit as e:
+            code = e.code
+        return code, out.getvalue(), err.getvalue()
+
+    def test_table_lists_time_metrics(self):
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        code, out, _ = self.run_main(["table", base])
+        self.assertEqual(code, 0)
+        self.assertIn("serial.wall_us", out)
+        self.assertIn("x2_sweep_bench", out)
+        self.assertIn("0123abcd4567", out)
+        self.assertNotIn("speedup", out)
+
+    def test_diff_identical_exits_0(self):
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", ENVELOPE)
+        code, out, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 0)
+        self.assertIn("no regressions", out)
+
+    def test_diff_flags_regression_beyond_tolerance(self):
+        slow = copy.deepcopy(ENVELOPE)
+        slow["payload"]["serial"]["wall_us"] *= 1.15
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", slow)
+        code, out, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION x2_sweep_bench.serial.wall_us", out)
+
+    def test_diff_within_tolerance_passes(self):
+        slow = copy.deepcopy(ENVELOPE)
+        slow["payload"]["serial"]["wall_us"] *= 1.05
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", slow)
+        code, _, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 0)
+
+    def test_diff_custom_tolerance(self):
+        slow = copy.deepcopy(ENVELOPE)
+        slow["payload"]["serial"]["wall_us"] *= 1.15
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", slow)
+        code, _, _ = self.run_main(["diff", base, new, "--tolerance=0.25"])
+        self.assertEqual(code, 0)
+
+    def test_diff_ignores_sub_floor_metrics(self):
+        tiny = copy.deepcopy(ENVELOPE)
+        tiny["payload"]["serial"]["wall_us"] = 10.0  # noise-floor timing
+        slow = copy.deepcopy(tiny)
+        slow["payload"]["serial"]["wall_us"] = 100.0  # 10x, still noise
+        base = self.write("a", "BENCH_sweep.json", tiny)
+        new = self.write("b", "BENCH_sweep.json", slow)
+        code, _, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 0)
+
+    def test_diff_improvement_passes(self):
+        fast = copy.deepcopy(ENVELOPE)
+        fast["payload"]["serial"]["wall_us"] *= 0.5
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", fast)
+        code, out, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 0)
+        self.assertIn("-50.0%", out)
+
+    def test_diff_notes_one_sided_experiments(self):
+        other = copy.deepcopy(ENVELOPE)
+        other["experiment"] = "x19_chaos"
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_chaos.json", other)
+        code, out, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 0)
+        self.assertIn("only in base", out)
+        self.assertIn("only in new", out)
+
+    def test_single_file_arguments_accepted(self):
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        file = os.path.join(base, "BENCH_sweep.json")
+        code, _, _ = self.run_main(["diff", file, file])
+        self.assertEqual(code, 0)
+
+    def test_missing_file_exits_2(self):
+        code, _, err = self.run_main(["diff", "/no/such", "/no/such"])
+        self.assertEqual(code, 2)
+        self.assertIn("no such file", err)
+
+    def test_non_envelope_json_exits_2(self):
+        base = self.write("a", "stray.json", {"hello": 1})
+        code, _, err = self.run_main(["table", base])
+        self.assertEqual(code, 2)
+        self.assertIn("not a sinrcolor.bench.v1 envelope", err)
+
+    def test_unknown_flag_exits_2(self):
+        code, _, err = self.run_main(["diff", "a", "b", "--frobnicate"])
+        self.assertEqual(code, 2)
+        self.assertIn("unknown flag", err)
+
+    def test_no_arguments_exits_2_with_usage(self):
+        code, _, err = self.run_main([])
+        self.assertEqual(code, 2)
+        self.assertIn("bench_report.py table", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -22,6 +22,7 @@ usage: tools/check.sh [options] [extra cmake args...]
 
 stages (default run = lint, plain, asan):
   lint   sinrlint unit tests + R1-R8 tree scan + allowlist prune check
+         + artifact-checker unit tests (bench envelope, perf report)
   plain  configure/build/ctest, no sanitizers
   asan   configure/build/ctest under -DSINRCOLOR_SANITIZE=address (ASan+UBSan)
   tsan   configure/build/ctest under -DSINRCOLOR_SANITIZE=thread (TSan)
@@ -64,6 +65,9 @@ run_lint() {
   python3 "$repo/tools/lint/sinrlint_test.py"
   python3 "$repo/tools/lint/sinrlint.py" --root "$repo"
   python3 "$repo/tools/lint/sinrlint.py" --root "$repo" --prune-check
+  echo "== artifact checkers (bench envelope, perf report) =="
+  python3 "$repo/tools/lint/bench_schema_check_test.py"
+  python3 "$repo/tools/bench_report_test.py"
 }
 
 run_tidy() {

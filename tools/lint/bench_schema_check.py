@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validates sinrcolor.bench.v1 perf-artifact envelopes (bench/bench_util.h).
+
+Usage: bench_schema_check.py BENCH.json [...]
+
+Checks, per file:
+  * the file is one JSON object with exactly the top-level keys
+    {schema, experiment, git_sha, host, threads, payload};
+  * schema == "sinrcolor.bench.v1"; experiment and git_sha are non-empty
+    strings; host is exactly {name: non-empty str, cores: int >= 1};
+    threads is an int >= 1;
+  * payload is a non-empty object — its internal shape belongs to the
+    emitting experiment, not to the envelope, so it is NOT validated here
+    (bench_report.py flattens whatever is inside).
+
+Exit status: the shared check_util contract — 0 clean, 1 schema violations
+(one line per problem on stdout), 2 invocation problems (one-line stderr
+diagnostic). Independent of the C++ writer on purpose — a second, dumber
+parser is exactly what catches envelope regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_util  # noqa: E402
+
+SCHEMA = "sinrcolor.bench.v1"
+TOP_KEYS = {"schema", "experiment", "git_sha", "host", "threads", "payload"}
+HOST_KEYS = {"name", "cores"}
+
+
+def _positive_int(value) -> bool:
+    # bool is an int subclass in Python; `true` is not a thread count.
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 1
+
+
+def check_file(path: str) -> list[str]:
+    errors: list[str] = []
+
+    def err(why: str) -> None:
+        errors.append(f"{path}: {why}")
+
+    with open(path, encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as e:
+            return [f"{path}: not valid JSON: {e}"]
+    if not isinstance(data, dict):
+        return [f"{path}: top level is {type(data).__name__}, want an object"]
+    if set(data) != TOP_KEYS:
+        return [f"{path}: top-level keys are {sorted(data)}, "
+                f"want {sorted(TOP_KEYS)}"]
+
+    if data["schema"] != SCHEMA:
+        err(f"schema is {data['schema']!r}, want {SCHEMA!r}")
+    for key in ("experiment", "git_sha"):
+        if not isinstance(data[key], str) or not data[key]:
+            err(f"{key} must be a non-empty string")
+    host = data["host"]
+    if not isinstance(host, dict) or set(host) != HOST_KEYS:
+        err(f"host must be an object with exactly {sorted(HOST_KEYS)}")
+    else:
+        if not isinstance(host["name"], str) or not host["name"]:
+            err("host.name must be a non-empty string")
+        if not _positive_int(host["cores"]):
+            err("host.cores must be an integer >= 1")
+    if not _positive_int(data["threads"]):
+        err("threads must be an integer >= 1")
+    if not isinstance(data["payload"], dict) or not data["payload"]:
+        err("payload must be a non-empty object")
+    return errors
+
+
+def summarize(path: str) -> str:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return f"{data['experiment']} @ {data['git_sha']}, {data['threads']} threads"
+
+
+def main(argv: list[str]) -> int:
+    return check_util.run_checker("bench_schema_check",
+                                  __doc__.strip().splitlines()[2], argv,
+                                  check_file, summarize)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

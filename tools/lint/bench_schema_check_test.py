@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_schema_check and the shared check_util contract:
+the checker must fire on the bad fixture, stay silent on the good one, and
+run_checker must keep the 0/1/2 exit contract. Run directly or via ctest
+(test name `benchschema.unit`)."""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_schema_check  # noqa: E402
+import check_util  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def good_envelope():
+    with open(fixture("bench_good.json"), encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_tmp(obj_or_text):
+    fh = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
+    with fh:
+        if isinstance(obj_or_text, str):
+            fh.write(obj_or_text)
+        else:
+            json.dump(obj_or_text, fh)
+    return fh.name
+
+
+class FixtureTest(unittest.TestCase):
+    def test_good_fixture_clean(self):
+        self.assertEqual(bench_schema_check.check_file(fixture("bench_good.json")), [])
+
+    def test_bad_fixture_fires_per_field(self):
+        errors = "\n".join(bench_schema_check.check_file(fixture("bench_bad.json")))
+        self.assertIn("schema is 'sinrcolor.bench.v0'", errors)
+        self.assertIn("experiment must be a non-empty string", errors)
+        self.assertIn("host must be an object", errors)
+        self.assertIn("threads must be an integer >= 1", errors)
+        self.assertIn("payload must be a non-empty object", errors)
+
+
+class FieldTest(unittest.TestCase):
+    def check(self, envelope):
+        path = write_tmp(envelope)
+        try:
+            return bench_schema_check.check_file(path)
+        finally:
+            os.unlink(path)
+
+    def test_invalid_json(self):
+        path = write_tmp("{not json")
+        try:
+            errors = bench_schema_check.check_file(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("not valid JSON", errors[0])
+
+    def test_top_level_must_be_object(self):
+        errors = self.check([1, 2, 3])
+        self.assertEqual(len(errors), 1)
+        self.assertIn("want an object", errors[0])
+
+    def test_extra_or_missing_keys_rejected(self):
+        extra = good_envelope()
+        extra["wall_us"] = 5  # timing outside the payload: schema violation
+        self.assertIn("top-level keys", self.check(extra)[0])
+        missing = good_envelope()
+        del missing["git_sha"]
+        self.assertIn("top-level keys", self.check(missing)[0])
+
+    def test_bool_thread_count_rejected(self):
+        env = good_envelope()
+        env["threads"] = True  # bool is an int subclass — still not a count
+        self.assertTrue(any("threads" in e for e in self.check(env)))
+
+    def test_host_cores_zero_rejected(self):
+        env = good_envelope()
+        env["host"]["cores"] = 0
+        self.assertTrue(any("host.cores" in e for e in self.check(env)))
+
+    def test_unknown_git_sha_placeholder_accepted(self):
+        # Builds outside a git checkout stamp "unknown" — valid provenance.
+        env = good_envelope()
+        env["git_sha"] = "unknown"
+        self.assertEqual(self.check(env), [])
+
+
+class CheckUtilContractTest(unittest.TestCase):
+    def run_checker(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = bench_schema_check.main(["bench_schema_check.py"] + argv)
+        return code, out.getvalue(), err.getvalue()
+
+    def test_no_arguments_exits_2_with_usage(self):
+        code, _, err = self.run_checker([])
+        self.assertEqual(code, 2)
+        self.assertIn("Usage:", err)
+
+    def test_missing_file_exits_2_one_stderr_line(self):
+        code, _, err = self.run_checker(["/no/such/bench.json"])
+        self.assertEqual(code, 2)
+        self.assertEqual(err.count("\n"), 1)
+        self.assertIn("no such file", err)
+
+    def test_empty_file_exits_2(self):
+        path = write_tmp("")
+        try:
+            code, _, err = self.run_checker([path])
+        finally:
+            os.unlink(path)
+        self.assertEqual(code, 2)
+        self.assertIn("empty file", err)
+
+    def test_good_file_exits_0_with_ok_line(self):
+        code, out, _ = self.run_checker([fixture("bench_good.json")])
+        self.assertEqual(code, 0)
+        self.assertIn("OK (x2_sweep_bench @ 0123abcd4567, 4 threads)", out)
+
+    def test_bad_file_exits_1(self):
+        code, out, _ = self.run_checker([fixture("bench_bad.json")])
+        self.assertEqual(code, 1)
+        self.assertIn("schema is", out)
+
+    def test_precheck_accepts_readable_file(self):
+        self.assertIsNone(
+            check_util.precheck("t", fixture("bench_good.json")))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Shared plumbing for the tools/lint/*_check.py artifact validators.
+
+Every checker (trace_schema_check, bench_schema_check, ...) honours the same
+exit contract so CI steps can be wired identically:
+
+  0  every file validates (one "PATH: OK (...)" line per file on stdout);
+  1  schema violations (one line per problem on stdout, checker-capped);
+  2  invocation problems — no arguments, or an artifact that is missing,
+     unreadable or empty. Exactly ONE diagnostic line on stderr: a vanished
+     artifact is a harness wiring bug, not a schema bug, and CI must not
+     report it as one.
+
+Checkers supply a `check_file(path) -> list[str]` (empty list = clean) and
+optionally a `summarize(path) -> str` for the OK line's parenthetical.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable
+
+
+def precheck(tool: str, path: str) -> str | None:
+    """One-line diagnostic if `path` is not a readable, non-empty file."""
+    if not os.path.exists(path):
+        return f"{tool}: {path}: no such file"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            first = fh.read(1)
+    except OSError as e:
+        return f"{tool}: {path}: unreadable ({e.strerror})"
+    if not first:
+        return f"{tool}: {path}: empty file (did the writer run?)"
+    return None
+
+
+def run_checker(tool: str, usage: str, argv: list[str],
+                check_file: Callable[[str], list[str]],
+                summarize: Callable[[str], str] | None = None) -> int:
+    """The shared main(): precheck every path, then validate each one."""
+    if len(argv) < 2:
+        print(usage, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        problem = precheck(tool, path)
+        if problem is not None:
+            print(problem, file=sys.stderr)
+            return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            print("\n".join(errors))
+        else:
+            detail = f" ({summarize(path)})" if summarize is not None else ""
+            print(f"{path}: OK{detail}")
+    return 1 if failed else 0

@@ -15,12 +15,11 @@ Checks, per file:
   * the header's accounting holds: recorded - dropped == number of event
     lines actually present.
 
-Exit status: 0 if every file validates; 1 on schema violations (one line
-per problem, capped per file); 2 on invocation problems — no arguments, or
-a trace file that is missing, unreadable or empty (one-line diagnostic on
-stderr: a vanished artifact is a harness wiring bug, not a schema bug, and
-CI must not report it as one). Independent of the C++ reader on purpose — a
-second, dumber parser is exactly what catches exporter regressions.
+Exit status: the shared check_util contract — 0 if every file validates;
+1 on schema violations (one line per problem, capped per file); 2 on
+invocation problems (one-line stderr diagnostic). Independent of the C++
+reader on purpose — a second, dumber parser is exactly what catches
+exporter regressions.
 """
 
 from __future__ import annotations
@@ -28,6 +27,10 @@ from __future__ import annotations
 import json
 import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_util  # noqa: E402
 
 SCHEMA = "sinrcolor.trace.v1"
 NO_NODE = 2**32 - 1
@@ -120,40 +123,16 @@ def check_file(path: str) -> list[str]:
     return errors
 
 
-def precheck(path: str) -> str | None:
-    """One-line diagnostic if `path` is not a readable, non-empty file."""
-    if not os.path.exists(path):
-        return f"trace_schema_check: {path}: no such file"
-    try:
-        with open(path, encoding="utf-8") as fh:
-            first = fh.read(1)
-    except OSError as e:
-        return f"trace_schema_check: {path}: unreadable ({e.strerror})"
-    if not first:
-        return f"trace_schema_check: {path}: empty file (no meta header — did the recorder run?)"
-    return None
+def summarize(path: str) -> str:
+    with open(path, encoding="utf-8") as fh:
+        count = sum(1 for _ in fh) - 1
+    return f"{count} events"
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) < 2:
-        print(__doc__.strip().splitlines()[2], file=sys.stderr)
-        return 2
-    for path in argv[1:]:
-        problem = precheck(path)
-        if problem is not None:
-            print(problem, file=sys.stderr)
-            return 2
-    failed = False
-    for path in argv[1:]:
-        errors = check_file(path)
-        if errors:
-            failed = True
-            print("\n".join(errors))
-        else:
-            with open(path, encoding="utf-8") as fh:
-                count = sum(1 for _ in fh) - 1
-            print(f"{path}: OK ({count} events)")
-    return 1 if failed else 0
+    return check_util.run_checker("trace_schema_check",
+                                  __doc__.strip().splitlines()[2], argv,
+                                  check_file, summarize)
 
 
 if __name__ == "__main__":
