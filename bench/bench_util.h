@@ -175,7 +175,7 @@ inline int print_verdict(bool pass, const std::string& detail) {
   return pass ? 0 : 1;
 }
 
-/// Applies `--resolve=field|naive` and `--threads=N` (the SINR reception path
+/// Applies `--resolve=field|simd|naive` and `--threads=N` (the SINR reception path
 /// and its worker count — see docs/PERFORMANCE.md) to a run config. Both
 /// knobs change wall time only, never results, so harness claims are
 /// path-independent. Exits with a usage error on bad values.
@@ -183,7 +183,7 @@ inline void apply_resolve_flags(const common::Cli& cli,
                                 core::MwRunConfig& cfg) {
   const std::string resolve = cli.get("resolve", "field");
   if (!sinr::resolve_kind_from_string(resolve, cfg.resolve)) {
-    std::printf("unknown --resolve=%s (field|naive)\n", resolve.c_str());
+    std::printf("unknown --resolve=%s (field|simd|naive)\n", resolve.c_str());
     std::exit(2);
   }
   const auto threads = cli.get_int("threads", 1);

@@ -128,6 +128,16 @@ void BM_MediumResolveSlotField4T(benchmark::State& state) {
 }
 BENCHMARK(BM_MediumResolveSlotField4T)->Arg(1024)->Arg(4096);
 
+void BM_MediumResolveSlotSimd(benchmark::State& state) {
+  medium_resolve_slot(state, {sinr::ResolveKind::kSimd, 1});
+}
+BENCHMARK(BM_MediumResolveSlotSimd)->Arg(256)->Arg(1024);
+
+void BM_MediumResolveSlotSimd4T(benchmark::State& state) {
+  medium_resolve_slot(state, {sinr::ResolveKind::kSimd, 4});
+}
+BENCHMARK(BM_MediumResolveSlotSimd4T)->Arg(1024)->Arg(4096);
+
 void BM_DeploymentGeneration(benchmark::State& state) {
   common::Rng rng(47);
   const auto n = static_cast<std::size_t>(state.range(0));

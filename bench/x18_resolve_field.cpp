@@ -1,18 +1,21 @@
-// X18 — interference-field fast path (engineering claim, not a paper claim):
+// X18 — interference-field fast paths (engineering claim, not a paper claim):
 // resolving a slot through the shared field F(u) = Σ_j P/δ(u,t_j)^α must
 // deliver EXACTLY the same messages as the naive per-(sender, listener)
 // resolution, and must be faster — O(T·coverage) versus O(T²·Δ) per slot
-// (docs/PERFORMANCE.md). The harness replays identical transmitter sets
-// through both paths, verifies delivery equality slot by slot, then times
-// each path over the same workload and reports the speedup. FAIL if any
-// delivery differs or the field path is slower.
+// (docs/PERFORMANCE.md). Three-way harness: naive (the oracle), field (the
+// scalar per-listener loop) and simd (the SoA batch kernel with batched
+// Kahan — docs/KERNELS.md) replay identical transmitter sets; delivery
+// equality is verified slot by slot across all three, then each path is
+// timed over the same workload. FAIL if any delivery differs, the field path
+// is not faster than naive, or the simd path is not faster than field.
 //
 // The timing reps run through common::SweepEngine (`--sweep-threads=N`,
 // per-rep p50/p95 in the sidecar): each rep owns its model instances (their
 // resolve scratch is reusable but not shareable) while the topology comes
 // from the shared cache. The rep loop also audits the zero-allocation
 // contract: after the first slot sizes the scratch, resolves allocate
-// nothing.
+// nothing — for the simd path that includes the SoA arrays and the coverage
+// candidate CSR.
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -43,14 +46,15 @@ int main(int argc, char** argv) {
   cli.reject_unknown();
 
   bench::print_experiment_header(
-      "X18: shared-field resolve vs naive resolve",
-      "engineering — the field path delivers identical messages and beats "
-      "the per-pair naive path in wall time at n=2000, Delta~64");
+      "X18: naive vs field vs simd resolve",
+      "engineering — the field paths deliver identical messages; field beats "
+      "naive and the simd kernel beats field in wall time at n=2000, "
+      "Delta~64");
 
   const auto g = bench::shared_uniform_graph_with_density(n, avg, seed);
   const auto phys = bench::phys_for_radius(g->radius());
 
-  // Pre-draw every slot's transmitter set so both paths replay the exact
+  // Pre-draw every slot's transmitter set so all paths replay the exact
   // same workload (transmitters never listen — half-duplex).
   common::Rng rng(common::derive_seed(seed, 0x18ULL));
   std::vector<std::vector<radio::TxRecord>> slot_txs(slots);
@@ -67,6 +71,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  const auto model_threads = [&](sinr::ResolveKind kind) {
+    return kind == sinr::ResolveKind::kNaive ? std::size_t{1} : threads;
+  };
+
   // One timed pass over the replayed workload with a fresh model (`kind`,
   // resolve thread count as configured). Returns the allocations the resolve
   // loop performed after its first slot — the steady-state number, which the
@@ -75,9 +83,8 @@ int main(int argc, char** argv) {
     std::uint64_t steady_allocs = 0;
   };
   const auto timed_pass = [&](sinr::ResolveKind kind) -> PassResult {
-    const radio::SinrInterferenceModel model(
-        *g, phys,
-        {kind, kind == sinr::ResolveKind::kField ? threads : 1});
+    const radio::SinrInterferenceModel model(*g, phys,
+                                             {kind, model_threads(kind)});
     std::vector<std::optional<radio::Message>> deliveries(n);
     PassResult out;
     for (std::size_t t = 0; t < slots; ++t) {
@@ -90,12 +97,11 @@ int main(int argc, char** argv) {
     return out;
   };
 
-  // Equality first: both paths must deliver the same (listener, sender)
-  // pairs in every slot.
+  // Equality first: every path must deliver the same (listener, sender)
+  // pairs in every slot. Naive is the oracle both fast paths compare to.
   const auto capture_pass = [&](sinr::ResolveKind kind) {
-    const radio::SinrInterferenceModel model(
-        *g, phys,
-        {kind, kind == sinr::ResolveKind::kField ? threads : 1});
+    const radio::SinrInterferenceModel model(*g, phys,
+                                             {kind, model_threads(kind)});
     std::vector<std::vector<std::optional<radio::Message>>> got;
     std::vector<std::optional<radio::Message>> deliveries(n);
     for (std::size_t t = 0; t < slots; ++t) {
@@ -108,109 +114,139 @@ int main(int argc, char** argv) {
   };
   const auto got_naive = capture_pass(sinr::ResolveKind::kNaive);
   const auto got_field = capture_pass(sinr::ResolveKind::kField);
-  std::size_t deliveries_total = 0, mismatches = 0;
-  for (std::size_t t = 0; t < slots; ++t) {
-    for (std::size_t u = 0; u < n; ++u) {
-      const auto& a = got_naive[t][u];
-      const auto& b = got_field[t][u];
-      deliveries_total += a.has_value();
-      if (a.has_value() != b.has_value() ||
-          (a.has_value() && a->sender != b->sender)) {
-        ++mismatches;
+  const auto got_simd = capture_pass(sinr::ResolveKind::kSimd);
+  const auto count_mismatches = [&](const auto& a_pass, const auto& b_pass) {
+    std::size_t bad = 0;
+    for (std::size_t t = 0; t < slots; ++t) {
+      for (std::size_t u = 0; u < n; ++u) {
+        const auto& a = a_pass[t][u];
+        const auto& b = b_pass[t][u];
+        if (a.has_value() != b.has_value() ||
+            (a.has_value() && a->sender != b->sender)) {
+          ++bad;
+        }
       }
     }
+    return bad;
+  };
+  std::size_t deliveries_total = 0;
+  for (std::size_t t = 0; t < slots; ++t) {
+    for (std::size_t u = 0; u < n; ++u) {
+      deliveries_total += got_naive[t][u].has_value();
+    }
   }
+  const std::size_t field_mismatches = count_mismatches(got_naive, got_field);
+  const std::size_t simd_mismatches = count_mismatches(got_naive, got_simd);
+  const std::size_t mismatches = field_mismatches + simd_mismatches;
 
   // Then timing: `reps` independent passes per path through the sweep
   // engine. Per-rep wall times feed the sidecar's p50/p95; the printed
   // wall_us is the per-rep p50 (robust against a noisy neighbor rep).
   common::SweepEngine engine(sweep_threads);
-  common::SweepTiming naive_t, field_t;
-  std::uint64_t naive_steady_allocs = 0, field_steady_allocs = 0;
-  {
+  struct PathTiming {
+    common::SweepTiming timing;
+    std::uint64_t steady_allocs = 0;
+  };
+  const auto time_path = [&](sinr::ResolveKind kind,
+                             std::uint64_t salt) -> PathTiming {
+    PathTiming out;
     const auto results = engine.run(
-        reps, common::derive_seed(seed, 0xA),
-        [&](const common::TrialContext&) {
-          return timed_pass(sinr::ResolveKind::kNaive);
-        },
-        &naive_t);
-    for (const PassResult& r : results) naive_steady_allocs += r.steady_allocs;
-  }
-  {
-    const auto results = engine.run(
-        reps, common::derive_seed(seed, 0xB),
-        [&](const common::TrialContext&) {
-          return timed_pass(sinr::ResolveKind::kField);
-        },
-        &field_t);
-    for (const PassResult& r : results) field_steady_allocs += r.steady_allocs;
-  }
-  sidecar.record_trials(naive_t);
-  sidecar.record_trials(field_t);
-  const std::uint64_t naive_us = naive_t.p50_us();
-  const std::uint64_t field_us = field_t.p50_us();
-  const double speedup = field_us > 0
-                             ? static_cast<double>(naive_us) /
-                                   static_cast<double>(field_us)
-                             : 0.0;
+        reps, common::derive_seed(seed, salt),
+        [&](const common::TrialContext&) { return timed_pass(kind); },
+        &out.timing);
+    for (const PassResult& r : results) out.steady_allocs += r.steady_allocs;
+    return out;
+  };
+  const PathTiming naive_pt = time_path(sinr::ResolveKind::kNaive, 0xA);
+  const PathTiming field_pt = time_path(sinr::ResolveKind::kField, 0xB);
+  const PathTiming simd_pt = time_path(sinr::ResolveKind::kSimd, 0xC);
+  sidecar.record_trials(naive_pt.timing);
+  sidecar.record_trials(field_pt.timing);
+  sidecar.record_trials(simd_pt.timing);
+  const std::uint64_t naive_us = naive_pt.timing.p50_us();
+  const std::uint64_t field_us = field_pt.timing.p50_us();
+  const std::uint64_t simd_us = simd_pt.timing.p50_us();
+  const auto ratio = [](std::uint64_t num, std::uint64_t den) {
+    return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+  };
+  const double speedup_field = ratio(naive_us, field_us);       // field/naive
+  const double speedup_simd_field = ratio(field_us, simd_us);   // simd/field
+  const double speedup_simd_naive = ratio(naive_us, simd_us);   // simd/naive
 
   common::Table table(
       {"path", "threads", "slots/rep", "p50_wall_us", "us/slot", "deliveries"});
   const auto slots_d = static_cast<double>(slots);
-  table.add_row({"naive", "1",
-                 common::Table::integer(static_cast<long long>(slots)),
-                 common::Table::integer(static_cast<long long>(naive_us)),
-                 common::Table::num(static_cast<double>(naive_us) / slots_d, 1),
-                 common::Table::integer(
-                     static_cast<long long>(deliveries_total))});
-  table.add_row({"field", common::Table::integer(
-                              static_cast<long long>(threads)),
-                 common::Table::integer(static_cast<long long>(slots)),
-                 common::Table::integer(static_cast<long long>(field_us)),
-                 common::Table::num(static_cast<double>(field_us) / slots_d, 1),
-                 common::Table::integer(
-                     static_cast<long long>(deliveries_total))});
+  const auto add_path_row = [&](const char* name, std::size_t t_count,
+                                std::uint64_t us) {
+    table.add_row({name, common::Table::integer(static_cast<long long>(t_count)),
+                   common::Table::integer(static_cast<long long>(slots)),
+                   common::Table::integer(static_cast<long long>(us)),
+                   common::Table::num(static_cast<double>(us) / slots_d, 1),
+                   common::Table::integer(
+                       static_cast<long long>(deliveries_total))});
+  };
+  add_path_row("naive", 1, naive_us);
+  add_path_row("field", threads, field_us);
+  add_path_row("simd", threads, simd_us);
   table.print(std::cout);
   std::printf("n=%zu Delta=%zu avg_deg=%.1f tx_prob=%.2f reps=%zu "
               "sweep_threads=%zu\n",
               g->size(), g->max_degree(), g->average_degree(), tx_prob, reps,
               sweep_threads);
-  std::printf("delivery mismatches: %zu / %zu deliveries\n", mismatches,
-              deliveries_total);
-  std::printf("speedup: %.2fx (field over naive, per-rep p50)\n", speedup);
-  const bool alloc_free =
-      !common::alloc_counting_enabled() ||
-      (naive_steady_allocs == 0 && field_steady_allocs == 0);
+  std::printf("delivery mismatches: field=%zu simd=%zu / %zu deliveries\n",
+              field_mismatches, simd_mismatches, deliveries_total);
+  std::printf("speedup: field %.2fx over naive, simd %.2fx over field "
+              "(%.2fx over naive), per-rep p50\n",
+              speedup_field, speedup_simd_field, speedup_simd_naive);
+  const bool alloc_free = !common::alloc_counting_enabled() ||
+                          (naive_pt.steady_allocs == 0 &&
+                           field_pt.steady_allocs == 0 &&
+                           simd_pt.steady_allocs == 0);
   if (common::alloc_counting_enabled()) {
-    std::printf("steady-state resolve allocs: naive=%llu field=%llu (%s)\n",
-                static_cast<unsigned long long>(naive_steady_allocs),
-                static_cast<unsigned long long>(field_steady_allocs),
-                alloc_free ? "alloc-free after first slot" : "ALLOCATING");
+    std::printf(
+        "steady-state resolve allocs: naive=%llu field=%llu simd=%llu (%s)\n",
+        static_cast<unsigned long long>(naive_pt.steady_allocs),
+        static_cast<unsigned long long>(field_pt.steady_allocs),
+        static_cast<unsigned long long>(simd_pt.steady_allocs),
+        alloc_free ? "alloc-free after first slot" : "ALLOCATING");
   }
 
   if (sidecar.observation() != nullptr) {
     auto& m = sidecar.observation()->metrics;
     m.counter("x18.naive_us").add(naive_us);
     m.counter("x18.field_us").add(field_us);
+    m.counter("x18.simd_us").add(simd_us);
+    // Legacy two-way key (field over naive) plus the per-kind ratios.
     m.counter("x18.speedup_permille")
-        .add(static_cast<std::uint64_t>(speedup * 1000.0));
+        .add(static_cast<std::uint64_t>(speedup_field * 1000.0));
+    m.counter("x18.speedup_vs_field_permille")
+        .add(static_cast<std::uint64_t>(speedup_simd_field * 1000.0));
+    m.counter("x18.speedup_vs_naive_permille")
+        .add(static_cast<std::uint64_t>(speedup_simd_naive * 1000.0));
     m.counter("x18.deliveries").add(deliveries_total);
     m.counter("x18.mismatches").add(mismatches);
+    m.counter("x18.simd_mismatches").add(simd_mismatches);
     m.counter("x18.threads").add(threads);
     m.counter("x18.n").add(n);
     m.counter("x18.steady_allocs")
-        .add(naive_steady_allocs + field_steady_allocs);
+        .add(naive_pt.steady_allocs + field_pt.steady_allocs +
+             simd_pt.steady_allocs);
   }
   sidecar.write("x18_resolve_field");
 
   const bool equal = mismatches == 0;
-  const bool faster = field_us < naive_us;
+  const bool field_faster = field_us < naive_us;
+  const bool simd_faster = simd_us < field_us;
   return bench::print_verdict(
-      equal && faster && alloc_free,
-      !equal ? "field path delivered different messages than naive"
-             : (!faster ? "identical deliveries but field path is SLOWER"
-                        : (alloc_free
-                               ? "identical deliveries, field path faster, "
-                                 "steady-state alloc-free"
-                               : "resolve allocated in steady state")));
+      equal && field_faster && simd_faster && alloc_free,
+      !equal ? "a fast path delivered different messages than naive"
+             : (!field_faster
+                    ? "identical deliveries but field path is SLOWER than naive"
+                    : (!simd_faster
+                           ? "identical deliveries but simd kernel is SLOWER "
+                             "than field"
+                           : (alloc_free
+                                  ? "identical deliveries, field beats naive, "
+                                    "simd beats field, steady-state alloc-free"
+                                  : "resolve allocated in steady state"))));
 }

@@ -47,11 +47,14 @@ struct MwRunConfig {
   bool graph_model = false;
   /// Reception-resolution path of the SINR media (ignored under the graph
   /// medium): kField shares one interference-field sum per covered listener
-  /// (the fast path, docs/PERFORMANCE.md); kNaive re-sums per (sender,
-  /// listener) pair and is kept as the A/B oracle. Deliveries are identical.
+  /// (the fast path, docs/PERFORMANCE.md); kSimd evaluates the same field
+  /// through the SoA batch kernel (docs/KERNELS.md); kNaive re-sums per
+  /// (sender, listener) pair and is kept as the A/B oracle. Deliveries are
+  /// identical across all three.
   sinr::ResolveKind resolve = sinr::ResolveKind::kField;
-  /// Worker threads for the field path's per-listener shards (1 = serial).
-  /// Any count produces byte-identical results (deterministic sharding).
+  /// Worker threads for the field/simd paths' per-listener shards (1 =
+  /// serial). Any count produces byte-identical results (deterministic
+  /// sharding).
   std::size_t threads = 1;
   /// Stochastic channel fading (ignored under the graph medium). The paper
   /// assumes deterministic path loss; X12 measures robustness against this.

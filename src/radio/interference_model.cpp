@@ -47,7 +47,10 @@ SinrInterferenceModel::SinrInterferenceModel(const graph::UnitDiskGraph& graph,
       pool_(make_pool(options)) {
   params_.validate();
   check_radius_matches_phys(graph_, params_);
-  engine_.reserve(graph_.size(), options_.threads);
+  // n·(Δ+1) bounds the simd path's candidate-pair arena: each transmitter
+  // covers at most its UDG neighborhood (δ ≤ R_T ⇔ adjacency).
+  engine_.reserve(graph_.size(), options_.threads,
+                  graph_.size() * (graph_.max_degree() + 1));
   decodes_.reserve(graph_.size());
   txs_.reserve(graph_.size());
 }
@@ -77,17 +80,27 @@ void SinrInterferenceModel::resolve(
       txs_.push_back({jam.position});
     }
   }
+  // Simd coverage: a node transmitter's δ ≤ R_T listeners are exactly its
+  // UDG neighbors (check_radius_matches_phys pins radius == R_T); injected
+  // jammers carry no node id and fall back to the grid query.
+  const auto coverage_for =
+      [&](std::size_t j) -> std::optional<std::span<const graph::NodeId>> {
+    if (j < real) return graph_.neighbors(transmissions[j].sender);
+    return std::nullopt;
+  };
   if (txs_.size() == real) {
     engine_.resolve_slot(
         phys, txs_, graph_.index(), graph_.deployment().points, listening,
         graph_.radius(),
         [](graph::NodeId /*listener*/) { return sinr::UnitGain{}; },
+        /*gain_listener_invariant=*/true, coverage_for, options_.kind,
         pool_.get(), decodes_);
   } else {
     const JammerGain gain{real, disturbance_->jammers, params_.power};
     engine_.resolve_slot(
         phys, txs_, graph_.index(), graph_.deployment().points, listening,
         graph_.radius(), [gain](graph::NodeId /*listener*/) { return gain; },
+        /*gain_listener_invariant=*/true, coverage_for, options_.kind,
         pool_.get(), decodes_);
   }
   for (const auto& d : decodes_) {
@@ -219,7 +232,8 @@ FadingSinrInterferenceModel::FadingSinrInterferenceModel(
       pool_(make_pool(options)) {
   params_.validate();
   check_radius_matches_phys(graph_, params_);
-  engine_.reserve(graph_.size(), options_.threads);
+  engine_.reserve(graph_.size(), options_.threads,
+                  graph_.size() * (graph_.max_degree() + 1));
   decodes_.reserve(graph_.size());
   txs_.reserve(graph_.size());
   tx_ids_.reserve(graph_.size());
@@ -271,7 +285,12 @@ void FadingSinrInterferenceModel::resolve(
                      : jammer_gain(j);
         };
       },
-      pool_.get(), decodes_);
+      /*gain_listener_invariant=*/false,
+      [&](std::size_t j) -> std::optional<std::span<const graph::NodeId>> {
+        if (j < real) return graph_.neighbors(transmissions[j].sender);
+        return std::nullopt;
+      },
+      options_.kind, pool_.get(), decodes_);
   for (const auto& d : decodes_) {
     if (d.tx >= real) continue;  // a jammer "decode" is noise, not a message
     SINRCOLOR_CHECK_MSG(!deliveries[d.listener].has_value(),

@@ -35,7 +35,9 @@ namespace sinrcolor::radio {
 
 /// How a SINR medium resolves receptions. Defaults run the field fast path
 /// single-threaded; `threads` > 1 shards covered listeners over a
-/// deterministic pool (byte-identical results for any count).
+/// deterministic pool (byte-identical results for any count). kSimd swaps the
+/// per-listener scalar loop for the SoA batch kernel (docs/KERNELS.md) with
+/// the same delivery semantics; kNaive keeps the per-pair reference oracle.
 struct ResolveOptions {
   sinr::ResolveKind kind = sinr::ResolveKind::kField;
   std::size_t threads = 1;

@@ -8,6 +8,8 @@ const char* to_string(ResolveKind kind) {
       return "naive";
     case ResolveKind::kField:
       return "field";
+    case ResolveKind::kSimd:
+      return "simd";
   }
   return "?";
 }
@@ -19,6 +21,10 @@ bool resolve_kind_from_string(const std::string& name, ResolveKind& out) {
   }
   if (name == "field") {
     out = ResolveKind::kField;
+    return true;
+  }
+  if (name == "simd") {
+    out = ResolveKind::kSimd;
     return true;
   }
   return false;

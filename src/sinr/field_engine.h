@@ -26,9 +26,22 @@
 // kept as A/B oracles (ResolveKind::kNaive); the equivalence suite
 // (tests/field_equivalence_test.cpp) holds the two paths to identical
 // deliveries.
+//
+// ResolveKind::kSimd swaps the per-listener scalar loop for the SoA batch
+// kernel (field_accumulate_lanes): contiguous x/y/weight arrays, a fused
+// branch-free distance→δ^α→contribution loop the compiler vectorizes, and a
+// batched Kahan reduction over kKahanLanes fixed strided chains. The lane
+// split changes the rounding sequence, so F(u) may differ from the scalar
+// field path by ulps — but per-term signals are bitwise identical, decode
+// thresholds are continuous in F, and the threshold-equality set is measure
+// zero, so deliveries (and full run JSON) match kField in practice; the
+// equivalence suite and the x18 three-way harness enforce exactly that. The
+// lane count is fixed (never ISA-dependent), so kSimd is as deterministic
+// across thread counts and builds as kField. See docs/KERNELS.md.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -50,10 +63,12 @@ namespace sinrcolor::sinr {
 enum class ResolveKind : std::uint8_t {
   kNaive,  ///< per-(sender, listener) interference sums — the reference oracle
   kField,  ///< shared per-listener field F(u), resolved per candidate in O(1)
+  kSimd,   ///< SoA batch kernel: fused δ^α loop, 8-lane batched Kahan
 };
 
 const char* to_string(ResolveKind kind);
-/// Parses "naive" / "field"; returns false (leaving `out` untouched) otherwise.
+/// Parses "naive" / "field" / "simd"; returns false (leaving `out` untouched)
+/// otherwise.
 bool resolve_kind_from_string(const std::string& name, ResolveKind& out);
 
 /// Kahan-compensated summation: the error of each add is carried into the
@@ -74,11 +89,149 @@ class KahanSum {
   double carry_ = 0.0;
 };
 
+/// Path-loss profile of the exponent α, mirroring the scalar fast paths in
+/// pow_alpha_from_sq. The simd kernel is instantiated once per profile so the
+/// δ^α computation in the fused loop is branch-free multiplies (plus one
+/// vectorizable sqrt for α=3); kGeneral falls back to the same scalar
+/// std::pow(d², α/2) call the scalar path makes, keeping per-term bits equal.
+enum class AlphaProfile : std::uint8_t {
+  kCube,     ///< α = 3:  δ³  = d²·√d²
+  kQuartic,  ///< α = 4:  δ⁴  = d²·d²
+  kSextic,   ///< α = 6:  δ⁶  = d²·d²·d²
+  kGeneral,  ///< any other α: std::pow(d², α/2)
+};
+
+constexpr AlphaProfile classify_alpha(double alpha) {
+  if (alpha == 3.0) return AlphaProfile::kCube;
+  if (alpha == 4.0) return AlphaProfile::kQuartic;
+  if (alpha == 6.0) return AlphaProfile::kSextic;
+  return AlphaProfile::kGeneral;
+}
+
+/// δ^α from δ² for one profile; `half_alpha` = α/2 is only read by kGeneral.
+/// Associativity matters: each specialization multiplies in the same order as
+/// its pow_alpha_from_sq twin, so the two produce bitwise-equal results.
+template <AlphaProfile P>
+inline double pow_alpha_profiled(double d_sq, double half_alpha) {
+  if constexpr (P == AlphaProfile::kCube) {
+    return d_sq * std::sqrt(d_sq);
+  } else if constexpr (P == AlphaProfile::kQuartic) {
+    return d_sq * d_sq;
+  } else if constexpr (P == AlphaProfile::kSextic) {
+    return d_sq * d_sq * d_sq;
+  } else {
+    return std::pow(d_sq, half_alpha);
+  }
+}
+
+/// Lane count of the batched Kahan reduction. Part of the numerical spec, not
+/// a tuning knob: F(u) is defined as 8 strided compensated chains combined in
+/// fixed lane order, so the value must never vary with the target ISA (8
+/// doubles = one zmm register on AVX-512, two ymm on AVX2, four xmm on SSE2 —
+/// all profitable; 16 spills the SSE2 register file).
+inline constexpr std::size_t kKahanLanes = 8;
+
+/// One transmitter's contribution P·g/δ^α from SoA arrays — the scalar twin
+/// of the kernel's loop body (same expressions, same association, so the
+/// same bits). The simd resolve path recomputes only its ~Δ·p candidates
+/// through this instead of storing all T per-element contributions, keeping
+/// the hot loop store-free.
+template <AlphaProfile P>
+inline double contribution_at(const double* x, const double* y,
+                              const double* w, std::size_t j, double ux,
+                              double uy, double half_alpha) {
+  const double dx = ux - x[j];
+  const double dy = uy - y[j];
+  const double d_sq = dx * dx + dy * dy;
+  return w[j] / pow_alpha_profiled<P>(d_sq, half_alpha);
+}
+
+/// The fused SoA accumulation kernel: one pass over contiguous x/y/w arrays
+/// computes distance → δ^α → contribution and folds each contribution into
+/// one of kKahanLanes independent Kahan chains (lane l takes elements
+/// j ≡ l mod 8). The loop body is branch-free, store-free and carries no
+/// loop-wide serial dependency — each lane's chain advances once per 8
+/// elements — so the compiler vectorizes it (`#pragma omp simd`; see
+/// docs/KERNELS.md for the -fopt-info-vec recipe). Returns the lane partials
+/// combined in fixed order: Kahan over s₀..s₇ then -c₀..-c₇ — a pure
+/// function of the element sequence, independent of thread count and ISA.
+template <AlphaProfile P>
+double field_accumulate_lanes(const double* x, const double* y,
+                              const double* w, std::size_t count, double ux,
+                              double uy, double half_alpha) {
+  double sum[kKahanLanes] = {0.0};
+  double carry[kKahanLanes] = {0.0};
+  std::size_t j = 0;
+  for (; j + kKahanLanes <= count; j += kKahanLanes) {
+#pragma omp simd
+    for (std::size_t l = 0; l < kKahanLanes; ++l) {
+      const double p = contribution_at<P>(x, y, w, j + l, ux, uy, half_alpha);
+      const double yk = p - carry[l];
+      const double t = sum[l] + yk;
+      carry[l] = (t - sum[l]) - yk;
+      sum[l] = t;
+    }
+  }
+  // Tail: the last count % 8 elements continue the round-robin lane
+  // assignment, exactly as a scalar replay of the spec would.
+  for (; j < count; ++j) {
+    const std::size_t l = j % kKahanLanes;
+    const double p = contribution_at<P>(x, y, w, j, ux, uy, half_alpha);
+    const double yk = p - carry[l];
+    const double t = sum[l] + yk;
+    carry[l] = (t - sum[l]) - yk;
+    sum[l] = t;
+  }
+  KahanSum total;
+  for (std::size_t l = 0; l < kKahanLanes; ++l) total.add(sum[l]);
+  for (std::size_t l = 0; l < kKahanLanes; ++l) total.add(-carry[l]);
+  return total.total();
+}
+
+using FieldKernelFn = double (*)(const double*, const double*, const double*,
+                                 std::size_t, double, double, double);
+using FieldContribFn = double (*)(const double*, const double*, const double*,
+                                  std::size_t, double, double, double);
+
+/// The α-specialization table: one pre-instantiated kernel per profile,
+/// selected once per slot (never inside the hot loop). Extending the kernel
+/// to a new α fast path = add an AlphaProfile entry, a pow_alpha_profiled
+/// branch, its pow_alpha_from_sq twin, and a row here.
+inline FieldKernelFn field_kernel_for(AlphaProfile profile) {
+  static constexpr FieldKernelFn kTable[] = {
+      &field_accumulate_lanes<AlphaProfile::kCube>,
+      &field_accumulate_lanes<AlphaProfile::kQuartic>,
+      &field_accumulate_lanes<AlphaProfile::kSextic>,
+      &field_accumulate_lanes<AlphaProfile::kGeneral>,
+  };
+  return kTable[static_cast<std::size_t>(profile)];
+}
+
+/// Companion table for the scalar per-candidate recompute.
+inline FieldContribFn field_contrib_for(AlphaProfile profile) {
+  static constexpr FieldContribFn kTable[] = {
+      &contribution_at<AlphaProfile::kCube>,
+      &contribution_at<AlphaProfile::kQuartic>,
+      &contribution_at<AlphaProfile::kSextic>,
+      &contribution_at<AlphaProfile::kGeneral>,
+  };
+  return kTable[static_cast<std::size_t>(profile)];
+}
+
 /// Gain functor for the non-fading media: every link has unit power gain.
 /// (P · 1.0 is bitwise P, so the field path matches the naive path's
 /// per-term arithmetic exactly.)
 struct UnitGain {
   double operator()(std::size_t /*tx*/) const { return 1.0; }
+};
+
+/// Coverage functor for callers without precomputed adjacency: every
+/// transmitter's candidate listeners come from the grid query.
+struct NoCoverage {
+  std::optional<std::span<const std::uint32_t>> operator()(
+      std::size_t /*tx*/) const {
+    return std::nullopt;
+  }
 };
 
 /// A transmitter within decoding range of the listener under evaluation.
@@ -153,13 +306,27 @@ class FieldEngine {
   /// never allocates afterwards — amortized growth would otherwise spike on
   /// whichever late slot happens to set a coverage record, breaking the
   /// zero-allocation steady-state contract. ~28 bytes per node per shard.
-  void reserve(std::size_t nodes, std::size_t shard_count) {
+  /// `candidate_pairs` bounds the simd path's (listener, tx) pair arena:
+  /// every pair has δ ≤ R_T, so Σ_tx |coverage(tx)| ≤ n·(Δ+1) when every
+  /// node transmits — callers pass n·(max_degree+1).
+  void reserve(std::size_t nodes, std::size_t shard_count,
+               std::size_t candidate_pairs = 0) {
     if (touched_.size() < nodes) touched_.resize(nodes, 0);
     covered_.reserve(nodes);
+    soa_x_.reserve(nodes);
+    soa_y_.reserve(nodes);
+    soa_w_.reserve(nodes);
+    if (cand_begin_.size() < nodes) {
+      cand_begin_.resize(nodes, 0);
+      cand_count_.resize(nodes, 0);
+    }
+    pairs_.reserve(candidate_pairs);
+    cand_idx_.reserve(candidate_pairs);
     shards_.resize(std::max({shards_.size(), shard_count, std::size_t{1}}));
     for (Shard& shard : shards_) {
       shard.candidates.reserve(nodes);
       shard.decodes.reserve(nodes);
+      shard.weights.reserve(nodes);
     }
   }
 
@@ -167,23 +334,57 @@ class FieldEngine {
   /// eligibility (transmitting or asleep nodes are skipped). `index` must be
   /// built over the same positions with the same ids. `gain_for(u)` returns
   /// the per-transmitter gain functor for listener u (UnitGain factory for
-  /// the non-fading media). Results land in `decodes`, cleared first.
-  template <typename GainForListener>
+  /// the non-fading media); `gain_listener_invariant` declares that every
+  /// listener's functor returns the same gains (true for the non-fading
+  /// media, including jammed ones), letting the simd path build its weight
+  /// array once per slot instead of once per listener. `coverage_for(j)`
+  /// optionally returns transmitter j's precomputed candidate-listener span
+  /// (the UDG neighborhood of a node transmitter — δ ≤ R_T is exactly
+  /// adjacency when the graph radius equals R_T, the same structural fact
+  /// the naive path iterates); nullopt falls back to a grid query (jammers,
+  /// or callers without a graph). Only the simd path consumes it — the
+  /// scalar field path keeps its banked grid-pass behavior. `kind` selects
+  /// the per-listener evaluation: kField runs the scalar field_at, kSimd the
+  /// SoA batch kernel (kNaive is handled by the media, not here). Results
+  /// land in `decodes`, cleared first.
+  template <typename GainForListener, typename CoverageFor>
   void resolve_slot(const SinrParams& params, std::span<const Transmitter> txs,
                     const geometry::GridIndex& index,
                     std::span<const geometry::Point> positions,
                     const std::vector<bool>& listening, double candidate_radius,
-                    GainForListener&& gain_for, common::TaskPool* pool,
-                    std::vector<Decode>& decodes) {
+                    GainForListener&& gain_for, bool gain_listener_invariant,
+                    CoverageFor&& coverage_for, ResolveKind kind,
+                    common::TaskPool* pool, std::vector<Decode>& decodes) {
     decodes.clear();
     if (txs.empty()) return;
-    collect_covered(txs, index, listening, candidate_radius);
+    const bool simd = kind == ResolveKind::kSimd;
+    collect_covered(txs, index, listening, candidate_radius, coverage_for,
+                    /*record_pairs=*/simd);
 
     const std::size_t shard_count = std::max<std::size_t>(
         1, std::min(pool != nullptr ? pool->thread_count() : 1,
                     covered_.size()));
     shards_.resize(std::max(shards_.size(), shard_count));
-    const auto shard_body = [&](std::size_t s) {
+    if (simd && !covered_.empty()) {
+      build_candidate_csr();
+      // SoA snapshot of the transmitter batch. Weights fold power·gain so the
+      // kernel body is a single divide; with listener-invariant gains they are
+      // computed once here, otherwise per listener into shard scratch.
+      soa_x_.clear();
+      soa_y_.clear();
+      for (const Transmitter& t : txs) {
+        soa_x_.push_back(t.position.x);
+        soa_y_.push_back(t.position.y);
+      }
+      if (gain_listener_invariant) {
+        auto gain = gain_for(covered_.front());
+        soa_w_.clear();
+        for (std::size_t j = 0; j < txs.size(); ++j) {
+          soa_w_.push_back(params.power * gain(j));
+        }
+      }
+    }
+    const auto shard_body_field = [&](std::size_t s) {
       Shard& shard = shards_[s];
       shard.decodes.clear();
       const auto [begin, end] =
@@ -201,6 +402,68 @@ class FieldEngine {
           shard.decodes.push_back(
               {u, static_cast<std::uint32_t>(*winner), margin});
         }
+      }
+    };
+    const auto shard_body_simd = [&](std::size_t s) {
+      Shard& shard = shards_[s];
+      shard.decodes.clear();
+      const auto [begin, end] =
+          common::TaskPool::shard_range(covered_.size(), shard_count, s);
+      const AlphaProfile profile = classify_alpha(params.alpha);
+      const FieldKernelFn kernel = field_kernel_for(profile);
+      const FieldContribFn contrib = field_contrib_for(profile);
+      const double half_alpha = params.alpha / 2.0;
+      const double* x = soa_x_.data();
+      const double* y = soa_y_.data();
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::uint32_t u = covered_[k];
+        const double* w = soa_w_.data();
+        if (!gain_listener_invariant) {
+          auto gain = gain_for(u);
+          if (shard.weights.size() < txs.size()) {
+            shard.weights.resize(txs.size());
+          }
+          for (std::size_t j = 0; j < txs.size(); ++j) {
+            shard.weights[j] = params.power * gain(j);
+          }
+          w = shard.weights.data();
+        }
+        const double ux = positions[u].x;
+        const double uy = positions[u].y;
+        const double field =
+            kernel(x, y, w, txs.size(), ux, uy, half_alpha);
+        // The kernel body is branch-free; a coincident transmitter shows up
+        // here as δ² = 0 ⇒ p = ∞ ⇒ F = ∞/NaN, mirroring field_at's abort.
+        SINRCOLOR_CHECK_MSG(std::isfinite(field),
+                            "transmitter coincides with listener");
+        // Candidate pass over the coverage CSR (ascending tx order); each
+        // candidate's signal is recomputed through the kernel's scalar twin
+        // — the same bits the fused loop folded into F.
+        double margin = 0.0;
+        std::optional<std::uint32_t> winner;
+        const std::uint32_t cb = cand_begin_[u];
+        for (std::uint32_t i = 0; i < cand_count_[u]; ++i) {
+          const std::uint32_t j = cand_idx_[cb + i];
+          const double signal = contrib(x, y, w, j, ux, uy, half_alpha);
+          const double threshold =
+              params.beta * (params.noise + (field - signal));
+          if (signal >= threshold) {
+            SINRCOLOR_CHECK_MSG(!winner.has_value(),
+                                "beta >= 1 forbids two decodable senders");
+            winner = j;
+            margin = signal / threshold;
+          }
+        }
+        if (winner.has_value()) {
+          shard.decodes.push_back({u, *winner, margin});
+        }
+      }
+    };
+    const auto shard_body = [&](std::size_t s) {
+      if (simd) {
+        shard_body_simd(s);
+      } else {
+        shard_body_field(s);
       }
     };
     // One kFieldAccum scope per shard when profiling. The scope lives in this
@@ -235,14 +498,35 @@ class FieldEngine {
   void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
  private:
+  template <typename CoverageFor>
   void collect_covered(std::span<const Transmitter> txs,
                        const geometry::GridIndex& index,
                        const std::vector<bool>& listening,
-                       double candidate_radius) {
+                       double candidate_radius, CoverageFor&& coverage_for,
+                       bool record_pairs) {
     if (touched_.size() < listening.size()) touched_.resize(listening.size(), 0);
     ++epoch_;
     covered_.clear();
-    for (const Transmitter& t : txs) {
+    pairs_.clear();
+    for (std::uint32_t tx_id = 0; tx_id < txs.size(); ++tx_id) {
+      if (record_pairs) {
+        // Fast coverage for the simd path: a node transmitter's candidate
+        // listeners are exactly its UDG neighbors (same δ ≤ R_T gate, same
+        // d² bits at graph-build time), already materialized as a sorted
+        // CSR span — no cell scan, no distance recomputation.
+        const auto span = coverage_for(std::size_t{tx_id});
+        if (span.has_value()) {
+          for (const std::uint32_t u : *span) {
+            if (!listening[u]) continue;
+            pairs_.push_back({u, tx_id});
+            if (touched_[u] == epoch_) continue;
+            touched_[u] = epoch_;
+            covered_.push_back(u);
+          }
+          continue;
+        }
+      }
+      const Transmitter& t = txs[tx_id];
       index.for_each_within(
           t.position, candidate_radius,
           [&](std::size_t u, const geometry::Point& p) {
@@ -250,7 +534,15 @@ class FieldEngine {
             // transmitter itself and cannot hear its own slot (the naive path
             // excludes self by iterating UDG neighborhoods).
             if (geometry::distance_sq(t.position, p) == 0.0) return;
-            if (!listening[u] || touched_[u] == epoch_) return;
+            if (!listening[u]) return;
+            // The grid gate is the δ ≤ R_T candidate gate (same d² bits:
+            // distance_sq is symmetric under IEEE negation), so this pass
+            // doubles as the simd path's candidate enumeration — recorded
+            // per (listener, tx) BEFORE the first-coverage dedup below.
+            if (record_pairs) {
+              pairs_.push_back({static_cast<std::uint32_t>(u), tx_id});
+            }
+            if (touched_[u] == epoch_) return;
             touched_[u] = epoch_;
             covered_.push_back(static_cast<std::uint32_t>(u));
           });
@@ -258,14 +550,53 @@ class FieldEngine {
     std::sort(covered_.begin(), covered_.end());
   }
 
+  /// Scatters the coverage pairs into per-listener candidate lists (CSR over
+  /// cand_idx_). pairs_ is tx-ascending per listener (outer loop order) and
+  /// the counting-sort scatter is stable, so each listener's list replays
+  /// field_at's ascending candidate order exactly.
+  void build_candidate_csr() {
+    const std::size_t nodes = touched_.size();
+    if (cand_begin_.size() < nodes) {
+      cand_begin_.resize(nodes, 0);
+      cand_count_.resize(nodes, 0);
+    }
+    for (const std::uint32_t u : covered_) cand_count_[u] = 0;
+    for (const CandidatePair& pair : pairs_) ++cand_count_[pair.listener];
+    std::uint32_t offset = 0;
+    for (const std::uint32_t u : covered_) {
+      cand_begin_[u] = offset;
+      offset += cand_count_[u];
+      cand_count_[u] = 0;
+    }
+    if (cand_idx_.size() < offset) cand_idx_.resize(offset);
+    for (const CandidatePair& pair : pairs_) {
+      cand_idx_[cand_begin_[pair.listener] + cand_count_[pair.listener]++] =
+          pair.tx;
+    }
+  }
+
+  struct CandidatePair {
+    std::uint32_t listener;
+    std::uint32_t tx;
+  };
+
   struct Shard {
     std::vector<FieldCandidate> candidates;
     std::vector<Decode> decodes;
+    std::vector<double> weights;  ///< simd: per-listener P·g(j) (fading only)
   };
 
   std::uint64_t epoch_ = 0;
   std::vector<std::uint64_t> touched_;
   std::vector<std::uint32_t> covered_;
+  // Simd-path scratch: SoA transmitter snapshot plus the coverage-pair CSR.
+  std::vector<double> soa_x_;
+  std::vector<double> soa_y_;
+  std::vector<double> soa_w_;
+  std::vector<CandidatePair> pairs_;
+  std::vector<std::uint32_t> cand_begin_;
+  std::vector<std::uint32_t> cand_count_;
+  std::vector<std::uint32_t> cand_idx_;
   std::vector<Shard> shards_;
   obs::Profiler* profiler_ = nullptr;
 };

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "sinr/medium_field.h"
 
 namespace sinrcolor::sinr {
 
@@ -54,7 +55,9 @@ std::string SinrParams::to_string() const {
 
 double received_power(const SinrParams& p, double dist) {
   SINRCOLOR_CHECK(dist > 0.0);
-  return p.power / std::pow(dist, p.alpha);
+  // δ^α via the shared fast path (δ² route), matching the per-term
+  // arithmetic of every resolve kernel on the specialized α ∈ {3,4,6}.
+  return p.power / pow_alpha_from_sq(dist * dist, p.alpha);
 }
 
 }  // namespace sinrcolor::sinr

@@ -1,9 +1,9 @@
 #include "sinr/probes.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/check.h"
+#include "sinr/medium_field.h"
 
 namespace sinrcolor::sinr {
 
@@ -18,7 +18,9 @@ double probabilistic_interference_outside(
     if (i == self) continue;
     const double d_sq = geometry::distance_sq(at, positions[i]);
     if (d_sq <= r_sq) continue;
-    total += params.power * probs[i] / std::pow(d_sq, params.alpha / 2.0);
+    // Shared δ^α fast path so probes agree bit-for-bit with the resolve
+    // kernels on the specialized α profiles (3, 4, 6).
+    total += params.power * probs[i] / pow_alpha_from_sq(d_sq, params.alpha);
   }
   return total;
 }

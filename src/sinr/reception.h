@@ -10,6 +10,7 @@
 #include <span>
 
 #include "geometry/point.h"
+#include "sinr/field_engine.h"
 #include "sinr/medium_field.h"
 #include "sinr/params.h"
 
@@ -28,10 +29,13 @@ bool decodes(const SinrParams& params, const geometry::Point& at,
 /// Runs the interference-field fast path (sinr/field_engine.h): the total
 /// received field is summed ONCE with Kahan compensation and each in-range
 /// candidate resolves against F − signal in O(1), i.e. O(T) per call instead
-/// of the naive O(T · candidates).
+/// of the naive O(T · candidates). `kind` selects the evaluation path:
+/// kField (default) the scalar loop, kSimd the SoA batch kernel
+/// (docs/KERNELS.md), kNaive the per-candidate oracle below.
 std::optional<std::size_t> resolve_reception(
     const SinrParams& params, const geometry::Point& at,
-    std::span<const Transmitter> transmitters);
+    std::span<const Transmitter> transmitters,
+    ResolveKind kind = ResolveKind::kField);
 
 /// Reference oracle for resolve_reception: the original per-candidate loop
 /// that re-sums interference excluding the candidate. Kept for the A/B

@@ -4,6 +4,11 @@
 // random transmitter sets, all three SINR entry points (the plain medium,
 // the fading medium and sinr::resolve_reception) and any thread count. The
 // naive loops are kept in the tree purely as the A/B oracle exercised here.
+//
+// The simd kernel path (ResolveKind::kSimd, docs/KERNELS.md) is held to the
+// same bar against the scalar field path: identical deliveries and
+// byte-identical run JSON across all three media — plain SINR, fading SINR
+// and the graph medium — thread counts, and faulted runs with drop windows.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,6 +20,8 @@
 #include "common/rng.h"
 #include "core/mw_protocol.h"
 #include "core/report.h"
+#include "faults/fault_engine.h"
+#include "faults/fault_plan.h"
 #include "geometry/deployment.h"
 #include "graph/unit_disk_graph.h"
 #include "radio/interference_model.h"
@@ -173,6 +180,162 @@ TEST(FieldEquivalence, FullFadingProtocolReportsMatch) {
   cfg.resolve = sinr::ResolveKind::kField;
   const std::string field = core::to_json(core::run_mw_coloring(g, cfg));
   EXPECT_EQ(naive, field);
+}
+
+// --- simd kernel path (ResolveKind::kSimd) ---
+
+TEST(SimdEquivalence, PlainSinrModelMatchesFieldAndNaiveAcrossSeeds) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto g = random_graph(150, 4.0, seed);
+    const auto phys = phys_for_radius(g.radius());
+    const radio::SinrInterferenceModel naive(
+        g, phys, {sinr::ResolveKind::kNaive, 1});
+    const radio::SinrInterferenceModel field(
+        g, phys, {sinr::ResolveKind::kField, 1});
+    const radio::SinrInterferenceModel simd(
+        g, phys, {sinr::ResolveKind::kSimd, 1});
+    EXPECT_GT(expect_identical_deliveries(field, simd, g, 24, 100 + seed), 0u)
+        << "seed " << seed;
+    EXPECT_GT(expect_identical_deliveries(naive, simd, g, 24, 100 + seed), 0u)
+        << "seed " << seed;
+  }
+}
+
+TEST(SimdEquivalence, FadingSinrModelMatchesFieldAcrossSeeds) {
+  // Per-listener fade gains exercise the kernel's non-invariant weight path
+  // (weights rebuilt per listener in shard scratch).
+  sinr::FadingSpec fading;
+  fading.kind = sinr::FadingKind::kRayleigh;
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto g = random_graph(150, 4.0, seed);
+    const auto phys = phys_for_radius(g.radius());
+    const radio::FadingSinrInterferenceModel field(
+        g, phys, fading, {sinr::ResolveKind::kField, 1});
+    const radio::FadingSinrInterferenceModel simd(
+        g, phys, fading, {sinr::ResolveKind::kSimd, 1});
+    EXPECT_GT(expect_identical_deliveries(field, simd, g, 24, 200 + seed), 0u)
+        << "seed " << seed;
+  }
+}
+
+TEST(SimdEquivalence, ThreadedSimdMatchesSerialSimd) {
+  // The batched Kahan reduction is a fixed 8-lane spec, so F(u) — and with
+  // it every decode — is independent of the shard layout.
+  const auto g = random_graph(200, 4.5, 31);
+  const auto phys = phys_for_radius(g.radius());
+  const radio::SinrInterferenceModel serial(
+      g, phys, {sinr::ResolveKind::kSimd, 1});
+  const radio::SinrInterferenceModel threaded(
+      g, phys, {sinr::ResolveKind::kSimd, 4});
+  EXPECT_GT(expect_identical_deliveries(serial, threaded, g, 24, 300), 0u);
+}
+
+TEST(SimdEquivalence, ResolveReceptionMatchesNaiveOracle) {
+  // The one-shot probe entry point through the SoA kernel: same winner (or
+  // same silence) as the per-candidate oracle on random clouds.
+  common::Rng rng(43);
+  const auto phys = phys_for_radius(1.0);
+  std::size_t decoded = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 12));
+    std::vector<sinr::Transmitter> txs;
+    txs.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      txs.push_back({{rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0)}});
+    }
+    const geometry::Point at{rng.uniform(0.0, 6.0), rng.uniform(0.0, 6.0)};
+    const auto simd =
+        sinr::resolve_reception(phys, at, txs, sinr::ResolveKind::kSimd);
+    const auto oracle = sinr::resolve_reception_naive(phys, at, txs);
+    ASSERT_EQ(simd.has_value(), oracle.has_value()) << "round " << round;
+    if (simd.has_value()) {
+      ++decoded;
+      EXPECT_EQ(*simd, *oracle) << "round " << round;
+    }
+  }
+  EXPECT_GT(decoded, 0u);
+}
+
+TEST(SimdEquivalence, FullProtocolReportsMatchAtThreads1And4) {
+  // End to end at the acceptance bar: byte-identical run JSON for simd vs
+  // field at --threads ∈ {1, 4}.
+  for (std::uint64_t seed : {1u, 7u}) {
+    const auto g = random_graph(60, 3.5, 50 + seed);
+    core::MwRunConfig cfg;
+    cfg.seed = seed;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      cfg.threads = threads;
+      cfg.resolve = sinr::ResolveKind::kField;
+      const std::string field = core::to_json(core::run_mw_coloring(g, cfg));
+      cfg.resolve = sinr::ResolveKind::kSimd;
+      const std::string simd = core::to_json(core::run_mw_coloring(g, cfg));
+      EXPECT_EQ(field, simd) << "seed " << seed << " threads " << threads;
+      EXPECT_FALSE(simd.empty());
+    }
+  }
+}
+
+TEST(SimdEquivalence, FullFadingProtocolReportsMatch) {
+  const auto g = random_graph(60, 3.5, 61);
+  core::MwRunConfig cfg;
+  cfg.seed = 5;
+  cfg.fading.kind = sinr::FadingKind::kRayleigh;
+  cfg.resolve = sinr::ResolveKind::kField;
+  const std::string field = core::to_json(core::run_mw_coloring(g, cfg));
+  cfg.resolve = sinr::ResolveKind::kSimd;
+  const std::string simd = core::to_json(core::run_mw_coloring(g, cfg));
+  EXPECT_EQ(field, simd);
+}
+
+TEST(SimdEquivalence, GraphMediumIgnoresResolveKind) {
+  // Third medium: the graph collision model has no SINR arithmetic; the
+  // resolve knob must be inert there (identical run JSON).
+  const auto g = random_graph(60, 3.5, 71);
+  core::MwRunConfig cfg;
+  cfg.seed = 9;
+  cfg.graph_model = true;
+  cfg.resolve = sinr::ResolveKind::kField;
+  const std::string field = core::to_json(core::run_mw_coloring(g, cfg));
+  cfg.resolve = sinr::ResolveKind::kSimd;
+  const std::string simd = core::to_json(core::run_mw_coloring(g, cfg));
+  EXPECT_EQ(field, simd);
+}
+
+TEST(SimdEquivalence, FaultedRunWithDropWindowsMatchesField) {
+  // Full fault plan — crashes, deafness, a periodic jammer (exercising the
+  // kernel's grid-coverage fallback and JammerGain weights), a noise window
+  // and delivery drop windows. Field and simd runs must serialize to the
+  // same bytes: every fault answer is keyed on (plan, seed, slot, ids) and
+  // every decode set is identical.
+  const auto g = random_graph(60, 3.5, 91);
+  faults::FaultPlan plan;
+  plan.crashes.push_back({5, 1500, -1});
+  plan.deafness.push_back({2, 0, 2000});
+  faults::JammerSpec j;
+  j.position = {0.05, 0.05};
+  j.from = 0;
+  j.to = 20000;
+  j.power = 0.2;
+  j.period = 3;
+  j.duty = 1;
+  plan.jammers.push_back(j);
+  plan.noise.push_back({1000, 3000, 1.3});
+  plan.drops.push_back({0, 20000, 0.05});
+
+  core::MwRunConfig cfg;
+  cfg.seed = 515;
+  const auto faulted_run = [&](sinr::ResolveKind kind) {
+    cfg.resolve = kind;
+    core::MwInstance instance(g, cfg);
+    faults::FaultEngine engine(plan, cfg.seed);
+    engine.install(instance.simulator());
+    const auto result = instance.run();
+    EXPECT_GT(engine.stats().dropped_deliveries, 0u);
+    return core::to_json(result);
+  };
+  const std::string field = faulted_run(sinr::ResolveKind::kField);
+  EXPECT_EQ(field, faulted_run(sinr::ResolveKind::kSimd));
+  EXPECT_FALSE(field.empty());
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 //   sinrcolor_cli params   [--n=..] [--delta=..] [--alpha=..] [--beta=..]
 //                          [--rho=..] [--profile=practical|theory]
 //   sinrcolor_cli color    [--n=..] [--side=..] [--seed=..] [--deployment=..]
-//                          [--wakeup=sync|uniform] [--resolve=field|naive]
+//                          [--wakeup=sync|uniform] [--resolve=field|simd|naive]
 //                          [--threads=..] [--trials=..] [--faults=plan.json]
 //                          [--json=out.json] [--quiet]
 //   sinrcolor_cli sweep    [--n-list=64,128,..] [--trials=..] [--threads=..]
@@ -16,7 +16,7 @@
 //                          [--join-fraction=..] [--join-at=..] [--join-window=..]
 //                          [--retransmit-wait=..] [--retransmit-retries=..]
 //                          [--degrade] [--faults=plan.json]
-//                          [--resolve=field|naive] [--threads=..]
+//                          [--resolve=field|simd|naive] [--threads=..]
 //                          [--json=out.json] [--quiet]
 //   sinrcolor_cli trace record   [--scenario=color|recover] [graph flags]
 //                                [--out=trace.jsonl] [--chrome=trace.json]
@@ -115,13 +115,14 @@ sinr::SinrParams phys_for(const graph::UnitDiskGraph& g) {
   return p;
 }
 
-// --resolve=field|naive picks the SINR reception path (field is the fast
-// default; naive is the A/B oracle — docs/PERFORMANCE.md), --threads=N the
-// worker count of the field path. Every value is byte-identical.
+// --resolve=field|simd|naive picks the SINR reception path (field is the fast
+// default; simd the SoA batch kernel — docs/KERNELS.md; naive the A/B
+// oracle — docs/PERFORMANCE.md), --threads=N the worker count of the
+// field/simd paths. Every value is byte-identical.
 void apply_resolve_flags(const common::Cli& cli, core::MwRunConfig& cfg) {
   const std::string resolve = cli.get("resolve", "field");
   if (!sinr::resolve_kind_from_string(resolve, cfg.resolve)) {
-    std::fprintf(stderr, "unknown --resolve=%s (field|naive)\n",
+    std::fprintf(stderr, "unknown --resolve=%s (field|simd|naive)\n",
                  resolve.c_str());
     std::exit(2);
   }
@@ -412,7 +413,7 @@ int cmd_sweep(const common::Cli& cli) {
   {
     const std::string resolve = cli.get("resolve", "field");
     if (!sinr::resolve_kind_from_string(resolve, base_cfg.resolve)) {
-      std::fprintf(stderr, "unknown --resolve=%s (field|naive)\n",
+      std::fprintf(stderr, "unknown --resolve=%s (field|simd|naive)\n",
                    resolve.c_str());
       std::exit(2);
     }
