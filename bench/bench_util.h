@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -175,10 +176,12 @@ inline int print_verdict(bool pass, const std::string& detail) {
   return pass ? 0 : 1;
 }
 
-/// Applies `--resolve=field|simd|naive` and `--threads=N` (the SINR reception path
-/// and its worker count — see docs/PERFORMANCE.md) to a run config. Both
-/// knobs change wall time only, never results, so harness claims are
-/// path-independent. Exits with a usage error on bad values.
+/// Applies `--resolve=field|simd|naive`, `--threads=N` (the SINR reception
+/// path and its worker count — see docs/PERFORMANCE.md) and
+/// `--slot-threads=N` (the simulator's tiled slot engine — see
+/// docs/ARCHITECTURE.md) to a run config. All three knobs change wall time
+/// only, never results, so harness claims are path-independent. Exits with a
+/// usage error on bad values.
 inline void apply_resolve_flags(const common::Cli& cli,
                                 core::MwRunConfig& cfg) {
   const std::string resolve = cli.get("resolve", "field");
@@ -192,6 +195,30 @@ inline void apply_resolve_flags(const common::Cli& cli,
     std::exit(2);
   }
   cfg.threads = static_cast<std::size_t>(threads);
+  const auto slot_threads = cli.get_int("slot-threads", 1);
+  if (slot_threads < 1) {
+    std::printf("--slot-threads must be >= 1\n");
+    std::exit(2);
+  }
+  cfg.slot_threads = static_cast<std::size_t>(slot_threads);
+}
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 when unavailable. A process-lifetime high-water
+/// mark: meaningful for single-configuration scale runs (x20's memory
+/// trajectory), monotone across rows within one invocation.
+inline std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %llu", &kb) == 1) {
+      return static_cast<std::uint64_t>(kb) * 1024;
+    }
+    return 0;
+  }
+  return 0;
 }
 
 /// Monotonic wall-clock stopwatch for before/after speedup tables.

@@ -94,6 +94,10 @@ class MwNode final : public radio::Protocol {
   bool decided() const override {
     return state_ == MwStateKind::kLeader || state_ == MwStateKind::kColored;
   }
+  std::size_t memory_bytes() const override {
+    return sizeof(MwNode) + competitors_.capacity() * sizeof(Competitor) +
+           request_queue_.capacity() * sizeof(graph::NodeId);
+  }
 
   // --- introspection (verification, probes, experiments) ---
   graph::NodeId id() const { return id_; }

@@ -97,15 +97,19 @@ MwInstance::MwInstance(const graph::UnitDiskGraph& g, const MwRunConfig& config)
       graph_, make_interference_model(graph_, config_),
       make_wakeup_schedule(g.size(), config_), config_.seed);
 
+  simulator_->set_slot_threads(config_.slot_threads);
   schedule_random_failures(*simulator_, config_);
 
+  // Contiguous arena: reserve up front so emplace_back never reallocates
+  // (the simulator and nodes_ hold raw pointers into the storage).
+  node_arena_.reserve(g.size());
   nodes_.reserve(g.size());
   for (graph::NodeId v = 0; v < g.size(); ++v) {
-    auto node = std::make_unique<MwNode>(v, params_);
-    node->reserve_peers(g.degree(v));
-    node->set_retransmit_policy(config_.recovery.retransmit);
-    nodes_.push_back(node.get());
-    simulator_->set_protocol(v, std::move(node));
+    MwNode& node = node_arena_.emplace_back(v, params_);
+    node.reserve_peers(g.degree(v));
+    node.set_retransmit_policy(config_.recovery.retransmit);
+    nodes_.push_back(&node);
+    simulator_->set_protocol(v, &node);
   }
 
   if (config_.check_independence) {

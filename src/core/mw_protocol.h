@@ -56,6 +56,11 @@ struct MwRunConfig {
   /// serial). Any count produces byte-identical results (deterministic
   /// sharding).
   std::size_t threads = 1;
+  /// Worker threads for the simulator's tiled slot engine (1 = the
+  /// sequential engine). Byte-identical results at any count; see
+  /// radio::Simulator::set_slot_threads for the determinism argument and
+  /// the observation/fault-injector downgrade.
+  std::size_t slot_threads = 1;
   /// Stochastic channel fading (ignored under the graph medium). The paper
   /// assumes deterministic path loss; X12 measures robustness against this.
   sinr::FadingSpec fading;
@@ -127,8 +132,14 @@ class MwInstance {
   const graph::UnitDiskGraph& graph_;
   MwRunConfig config_;
   MwParams params_;
+  /// Contiguous node arena: one MwNode per graph node, laid out back-to-back
+  /// so a tile pass of the slot engine walks protocol state linearly instead
+  /// of chasing n separate heap blocks. The simulator holds non-owning
+  /// pointers into it; declared before simulator_ so it outlives the
+  /// simulator's references on destruction.
+  std::vector<MwNode> node_arena_;
   std::unique_ptr<radio::Simulator> simulator_;
-  std::vector<MwNode*> nodes_;  // owned by the simulator
+  std::vector<MwNode*> nodes_;  // pointers into node_arena_
   std::size_t independence_violations_ = 0;
   obs::RunObservation* observation_ = nullptr;
 };

@@ -50,6 +50,16 @@ class GridIndex {
   /// All ids within r of q (convenience wrapper; allocation per call).
   std::vector<std::size_t> within(const Point& q, double r) const;
 
+  /// Heap footprint of the index (bucket headers + entry capacities), feeding
+  /// the simulator's bytes/node accounting.
+  std::size_t memory_bytes() const {
+    std::size_t bytes = buckets_.capacity() * sizeof(std::vector<Entry>);
+    for (const auto& bucket : buckets_) {
+      bytes += bucket.capacity() * sizeof(Entry);
+    }
+    return bytes;
+  }
+
  private:
   struct Entry {
     std::size_t id;

@@ -1,0 +1,69 @@
+#include "graph/tile_partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "common/check.h"
+#include "common/task_pool.h"
+
+namespace sinrcolor::graph {
+
+TilePartition TilePartition::identity(std::size_t n) {
+  TilePartition p;
+  p.order_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) p.order_[v] = static_cast<NodeId>(v);
+  p.offsets_ = {0, n};
+  return p;
+}
+
+TilePartition TilePartition::spatial(const UnitDiskGraph& g,
+                                     std::size_t tile_count) {
+  const std::size_t n = g.size();
+  tile_count = std::clamp<std::size_t>(tile_count, 1,
+                                       std::max<std::size_t>(n, 1));
+  const double cell = g.radius();
+  SINRCOLOR_CHECK(cell > 0.0);
+  // Row-major cell rank: positions live in [0, side]^2, so cell coordinates
+  // are non-negative and bounded by side/cell (+1 for points exactly on the
+  // far edge). The rank only has to ORDER cells; it never indexes storage.
+  const auto cells_per_row =
+      static_cast<std::uint64_t>(std::floor(g.side() / cell)) + 2;
+  std::vector<std::pair<std::uint64_t, NodeId>> keyed(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const geometry::Point& p = g.position(static_cast<NodeId>(v));
+    const auto cx = static_cast<std::uint64_t>(std::floor(p.x / cell));
+    const auto cy = static_cast<std::uint64_t>(std::floor(p.y / cell));
+    keyed[v] = {cy * cells_per_row + cx, static_cast<NodeId>(v)};
+  }
+  // Pair comparison breaks cell-rank ties by node id — fully deterministic.
+  std::sort(keyed.begin(), keyed.end());
+
+  TilePartition p;
+  p.order_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) p.order_[k] = keyed[k].second;
+  p.offsets_.resize(tile_count + 1);
+  for (std::size_t t = 0; t < tile_count; ++t) {
+    p.offsets_[t] = common::TaskPool::shard_range(n, tile_count, t).first;
+  }
+  p.offsets_[tile_count] = n;
+  return p;
+}
+
+std::size_t TilePartition::default_tile_count(std::size_t n) {
+  return std::clamp<std::size_t>((n + 255) / 256, 1, 64);
+}
+
+std::span<const NodeId> TilePartition::tile(std::size_t t) const {
+  SINRCOLOR_DCHECK(t + 1 < offsets_.size() || (offsets_.empty() && t == 0));
+  if (offsets_.empty()) return {};
+  return {order_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]};
+}
+
+std::size_t TilePartition::memory_bytes() const {
+  return order_.capacity() * sizeof(NodeId) +
+         offsets_.capacity() * sizeof(std::size_t);
+}
+
+}  // namespace sinrcolor::graph

@@ -54,6 +54,14 @@ class UnitDiskGraph {
   /// (d-fold power scaling). `factor` > 0, usually the MAC constant d+1.
   UnitDiskGraph scaled(double factor) const;
 
+  /// Heap footprint of the graph (positions, grid index, CSR arrays), feeding
+  /// the simulator's bytes/node accounting.
+  std::size_t memory_bytes() const {
+    return deployment_.points.capacity() * sizeof(geometry::Point) +
+           index_.memory_bytes() + offsets_.capacity() * sizeof(std::size_t) +
+           adjacency_.capacity() * sizeof(NodeId);
+  }
+
  private:
   geometry::Deployment deployment_;
   double radius_;

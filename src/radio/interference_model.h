@@ -86,6 +86,11 @@ class InterferenceModel {
   /// field engine so per-shard kFieldAccum scopes land in the same sink.
   virtual void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
+  /// Bytes of model-owned scratch (engine buffers, per-slot arrays), measured
+  /// from container capacities. Feeds the simulator's bytes/node accounting;
+  /// 0 = unreported.
+  virtual std::size_t memory_bytes() const { return 0; }
+
  protected:
   obs::Histogram* margin_histogram_ = nullptr;
   const ChannelDisturbance* disturbance_ = nullptr;
@@ -110,6 +115,12 @@ class SinrInterferenceModel final : public InterferenceModel {
   void set_profiler(obs::Profiler* profiler) override {
     InterferenceModel::set_profiler(profiler);
     engine_.set_profiler(profiler);
+  }
+
+  std::size_t memory_bytes() const override {
+    return sizeof(*this) + engine_.memory_bytes() +
+           decodes_.capacity() * sizeof(sinr::FieldEngine::Decode) +
+           txs_.capacity() * sizeof(sinr::Transmitter);
   }
 
  private:
@@ -152,6 +163,13 @@ class FadingSinrInterferenceModel final : public InterferenceModel {
     engine_.set_profiler(profiler);
   }
 
+  std::size_t memory_bytes() const override {
+    return sizeof(*this) + engine_.memory_bytes() +
+           decodes_.capacity() * sizeof(sinr::FieldEngine::Decode) +
+           tx_ids_.capacity() * sizeof(graph::NodeId) +
+           txs_.capacity() * sizeof(sinr::Transmitter);
+  }
+
  private:
   void resolve_naive(Slot slot, const std::vector<TxRecord>& transmissions,
                      const std::vector<bool>& listening,
@@ -180,6 +198,11 @@ class GraphInterferenceModel final : public InterferenceModel {
                std::vector<std::optional<Message>>& deliveries) const override;
 
   const char* name() const override { return "graph"; }
+
+  std::size_t memory_bytes() const override {
+    return sizeof(*this) + covering_.capacity() * sizeof(std::uint8_t) +
+           candidate_tx_.capacity() * sizeof(std::size_t);
+  }
 
  private:
   const graph::UnitDiskGraph& graph_;

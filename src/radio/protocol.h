@@ -10,6 +10,7 @@
 //   4. end_slot(slot)         — state transitions taking effect after the slot.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 #include "common/rng.h"
@@ -37,6 +38,12 @@ class Protocol {
   /// A decided node may keep transmitting (MW color beacons) until the whole
   /// protocol stops.
   virtual bool decided() const = 0;
+
+  /// Bytes of state this node holds (sizeof(most-derived) plus owned heap
+  /// capacities). Feeds the simulator's bytes/node accounting
+  /// (RunMetrics::state_bytes); 0 = unreported, the default for protocols
+  /// that opt out.
+  virtual std::size_t memory_bytes() const { return 0; }
 };
 
 }  // namespace sinrcolor::radio

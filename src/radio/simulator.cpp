@@ -13,6 +13,17 @@ namespace sinrcolor::radio {
 static_assert(std::is_same_v<obs::Slot, Slot>);
 static_assert(std::is_same_v<obs::NodeId, graph::NodeId>);
 
+namespace {
+
+/// Signed merge into an unsigned aggregate (tile counters carry revival
+/// decrements). The intermediate int64 never overflows: every delta is
+/// bounded by the node count.
+void apply_delta(std::size_t& target, std::int64_t delta) {
+  target = static_cast<std::size_t>(static_cast<std::int64_t>(target) + delta);
+}
+
+}  // namespace
+
 Simulator::Simulator(const graph::UnitDiskGraph& graph,
                      std::unique_ptr<InterferenceModel> model,
                      WakeupSchedule wakeups, std::uint64_t seed)
@@ -21,7 +32,8 @@ Simulator::Simulator(const graph::UnitDiskGraph& graph,
   SINRCOLOR_CHECK(wakeups_.size() == graph_.size());
   failure_slot_.assign(graph_.size(), -1);
   join_slot_.assign(graph_.size(), -1);
-  protocols_.resize(graph_.size());
+  protocols_.assign(graph_.size(), nullptr);
+  owned_.resize(graph_.size());
   rngs_.reserve(graph_.size());
   for (std::size_t v = 0; v < graph_.size(); ++v) {
     rngs_.emplace_back(common::derive_seed(seed, v));
@@ -33,16 +45,67 @@ Simulator::Simulator(const graph::UnitDiskGraph& graph,
   scratch_.awake.assign(n, 0);
   scratch_.dead.assign(n, 0);
   scratch_.schedule_suppressed.assign(n, 0);
+  scratch_.listening_u8.assign(n, 0);
   scratch_.listening.assign(n, false);
   scratch_.transmissions.reserve(n);
   scratch_.deliveries.assign(n, std::nullopt);
   scratch_.covered.reserve(n);
+  // The persistent tile job: captures only `this`, dispatches on the phase
+  // latched by for_tiles. Built once so the slot loop never constructs a
+  // std::function (zero-allocation contract).
+  tile_job_ = [this](std::size_t t) {
+    switch (tile_phase_) {
+      case TilePhase::kTxDecide:
+        tile_tx_decide(t);
+        break;
+      case TilePhase::kDeliver:
+        tile_deliver(t);
+        break;
+      case TilePhase::kEndSlot:
+        tile_end_slot(t);
+        break;
+    }
+  };
+  configure_tiles(/*parallel=*/false);
 }
 
 void Simulator::set_protocol(graph::NodeId v, std::unique_ptr<Protocol> protocol) {
   SINRCOLOR_CHECK(v < protocols_.size());
   SINRCOLOR_CHECK(protocol != nullptr);
-  protocols_[v] = std::move(protocol);
+  owned_[v] = std::move(protocol);
+  protocols_[v] = owned_[v].get();
+}
+
+void Simulator::set_protocol(graph::NodeId v, Protocol* protocol) {
+  SINRCOLOR_CHECK(v < protocols_.size());
+  SINRCOLOR_CHECK(protocol != nullptr);
+  owned_[v].reset();
+  protocols_[v] = protocol;
+}
+
+void Simulator::set_slot_threads(std::size_t threads) {
+  SINRCOLOR_CHECK_MSG(!ran_, "set the slot thread count before run()");
+  slot_threads_ = std::max<std::size_t>(1, threads);
+  configure_tiles(slot_threads_ > 1);
+}
+
+void Simulator::configure_tiles(bool parallel) {
+  const std::size_t n = graph_.size();
+  if (parallel) {
+    tiles_ = graph::TilePartition::spatial(
+        graph_, graph::TilePartition::default_tile_count(n));
+    slot_pool_ = std::make_unique<common::TaskPool>(slot_threads_);
+  } else {
+    tiles_ = graph::TilePartition::identity(n);
+    slot_pool_.reset();
+  }
+  tile_scratch_.resize(tiles_.tile_count());
+  for (std::size_t t = 0; t < tiles_.tile_count(); ++t) {
+    // A tile's tx buffer holds at most its own nodes — full-tile capacity
+    // means no reallocation no matter which subset transmits.
+    tile_scratch_[t].tx.reserve(tiles_.tile(t).size());
+    tile_scratch_[t].counters.reset();
+  }
 }
 
 void Simulator::set_failure_slot(graph::NodeId v, Slot slot) {
@@ -78,6 +141,138 @@ void Simulator::set_observation(obs::RunObservation* observation) {
                 {1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 100.0}));
 }
 
+// Phase 1 of one tile: failures, joins, wake-ups and transmission decisions.
+// Every touched datum is node-local (per-node flag bytes, per-node metric
+// entries, the node's own protocol and RNG stream) or tile-local (the tx
+// buffer and the counters), so concurrent tiles never race; the per-tile
+// outputs are merged in tile order by run().
+void Simulator::tile_tx_decide(std::size_t t) {
+  RunMetrics& metrics = *run_metrics_;
+  obs::Tracer* const tracer = run_tracer_;
+  const Slot slot = run_slot_;
+  auto& awake = scratch_.awake;
+  auto& dead = scratch_.dead;
+  auto& listening = scratch_.listening_u8;
+  auto& schedule_suppressed = scratch_.schedule_suppressed;
+  TileScratch& ts = tile_scratch_[t];
+  TileCounters& c = ts.counters;
+  c.reset();
+  ts.tx.clear();
+  for (const graph::NodeId v : tiles_.tile(t)) {
+    if (!dead[v] && failure_slot_[v] == slot) {
+      dead[v] = 1;
+      metrics.death_slot[v] = slot;
+      ++c.failed;
+      // A dead node can no longer decide; stop waiting for it.
+      if (metrics.decision_slot[v] < 0) --c.undecided;
+      SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kFailure, v);
+    }
+    if (join_slot_[v] == slot) {
+      --c.joins_pending;
+      ++c.joined;
+      SINRCOLOR_TRACE(tracer, slot,
+                      dead[v] ? obs::EventKind::kRevival : obs::EventKind::kJoin,
+                      v);
+      if (dead[v]) {
+        // Revival: the node rejoins fresh. It leaves the failed count and
+        // any earlier decision is void, so it is counted exactly once in
+        // whichever of failed/stalled/decided it ends the run as. Its
+        // death decremented `undecided` (directly if it died undecided,
+        // via its decision otherwise), so the rejoin re-increments.
+        dead[v] = 0;
+        metrics.death_slot[v] = -1;
+        --c.failed;
+        metrics.decision_slot[v] = -1;
+        ++c.undecided;
+      } else {
+        // A late arrival was never awake and still counts as undecided
+        // from initialization; nothing to rebalance.
+        SINRCOLOR_CHECK_MSG(!awake[v], "join slot hit an awake node");
+      }
+      awake[v] = 1;
+      protocols_[v]->on_wake(slot);
+    }
+    if (dead[v]) {
+      listening[v] = 0;
+      continue;
+    }
+    if (!awake[v]) {
+      if (wakeups_[v] == slot && !schedule_suppressed[v]) {
+        awake[v] = 1;
+        SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kWake, v);
+        protocols_[v]->on_wake(slot);
+      } else {
+        listening[v] = 0;
+        continue;
+      }
+    }
+    ++metrics.awake_slots[v];
+    auto tx = protocols_[v]->begin_slot(slot, rngs_[v]);
+    if (tx.has_value()) {
+      tx->sender = v;
+      ts.tx.push_back({v, *tx});
+      listening[v] = 0;
+      ++metrics.tx_count[v];
+      SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kTx, v, tx->target,
+                      static_cast<std::int32_t>(tx->kind), tx->color_class);
+    } else {
+      listening[v] = 1;
+      // Transient deafness: the receiver is off, but the node still ran
+      // its slot (protocol state and the interference field are
+      // unaffected — deafness is a pure receiver fault). An installed
+      // injector pins the run to the sequential engine, so this query
+      // always happens on the slot-loop thread (FaultEngine's contract).
+      if (fault_injector_ != nullptr &&
+          fault_injector_->receiver_disabled(slot, v)) {
+        listening[v] = 0;
+        ++c.deaf;
+      }
+    }
+  }
+}
+
+void Simulator::tile_deliver(std::size_t t) {
+  obs::Tracer* const tracer = run_tracer_;
+  const Slot slot = run_slot_;
+  auto& deliveries = scratch_.deliveries;
+  TileCounters& c = tile_scratch_[t].counters;
+  for (const graph::NodeId v : tiles_.tile(t)) {
+    if (deliveries[v].has_value()) {
+      SINRCOLOR_DCHECK(scratch_.listening[v]);
+      SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kDelivery, v,
+                      deliveries[v]->sender,
+                      static_cast<std::int32_t>(deliveries[v]->kind),
+                      deliveries[v]->color_class);
+      protocols_[v]->on_receive(slot, *deliveries[v]);
+      ++c.delivered;
+    }
+  }
+}
+
+void Simulator::tile_end_slot(std::size_t t) {
+  RunMetrics& metrics = *run_metrics_;
+  const Slot slot = run_slot_;
+  TileCounters& c = tile_scratch_[t].counters;
+  for (const graph::NodeId v : tiles_.tile(t)) {
+    if (!scratch_.awake[v] || scratch_.dead[v]) continue;
+    protocols_[v]->end_slot(slot);
+    if (metrics.decision_slot[v] < 0 && protocols_[v]->decided()) {
+      metrics.decision_slot[v] = slot;
+      ++c.decided;
+    }
+  }
+}
+
+void Simulator::for_tiles(TilePhase phase, bool parallel) {
+  tile_phase_ = phase;
+  const std::size_t count = tiles_.tile_count();
+  if (parallel && count > 1) {
+    slot_pool_->run_shards(count, tile_job_);
+  } else {
+    for (std::size_t t = 0; t < count; ++t) tile_job_(t);
+  }
+}
+
 RunMetrics Simulator::run(Slot max_slots) {
   SINRCOLOR_CHECK_MSG(!ran_, "Simulator::run may only be called once");
   ran_ = true;
@@ -93,9 +288,8 @@ RunMetrics Simulator::run(Slot max_slots) {
   metrics.tx_count.assign(n, 0);
   metrics.awake_slots.assign(n, 0);
 
-  auto& awake = scratch_.awake;
-  auto& dead = scratch_.dead;
   auto& listening = scratch_.listening;
+  auto& listening_u8 = scratch_.listening_u8;
   auto& transmissions = scratch_.transmissions;
   auto& deliveries = scratch_.deliveries;
 
@@ -114,6 +308,20 @@ RunMetrics Simulator::run(Slot max_slots) {
         {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
     drop_counter = &observation_->metrics.counter("radio.drops");
   }
+  // Engine selection: the parallel spatial engine needs an untraced run
+  // (trace event order is part of the sequential contract) and no fault
+  // injector (FaultEngine is thread-compatible, not thread-safe). Either
+  // attachment downgrades to the sequential identity engine; results are
+  // byte-identical in both engines, only event ORDER within a phase is
+  // pinned by the sequential one.
+  if (slot_pool_ != nullptr && (tracer != nullptr || fault_injector_ != nullptr)) {
+    configure_tiles(/*parallel=*/false);
+  }
+  const bool parallel = slot_pool_ != nullptr;
+  const std::size_t tile_count = tiles_.tile_count();
+  run_metrics_ = &metrics;
+  run_tracer_ = tracer;
+
   // Scratch for collision attribution (kDrop): per listener, how many
   // transmitters cover it this slot and one sample interferer. Only
   // maintained when a tracer is attached (unobserved runs never touch it).
@@ -143,6 +351,7 @@ RunMetrics Simulator::run(Slot max_slots) {
     SINRCOLOR_PROFILE(profiler, obs::Phase::kSlot);
     metrics.slots_executed = slot + 1;
     const std::uint64_t allocs_at_slot_start = common::thread_heap_allocs();
+    run_slot_ = slot;
 
     // 0. Channel-level faults: one disturbance query per slot, forwarded to
     // the medium (null = clean channel, the zero-cost common case).
@@ -151,83 +360,32 @@ RunMetrics Simulator::run(Slot max_slots) {
       model_->set_disturbance(fault_injector_->channel_disturbance(slot));
     }
 
-    // 1. Failures, joins, wake-ups and transmission decisions.
-    transmissions.clear();
+    // 1. Failures, joins, wake-ups and transmission decisions, tile by tile,
+    // then the ordered merge: tile tx buffers are concatenated in tile order
+    // and — under the spatial engine — re-sorted by sender, restoring the
+    // exact id-ascending transmitter sequence the sequential engine emits
+    // (the Kahan field sum is order-sensitive, so resolve must see the same
+    // sequence at every thread count).
     {
       SINRCOLOR_PROFILE(profiler, obs::Phase::kTxDecide);
-      for (std::size_t v = 0; v < n; ++v) {
-        if (!dead[v] && failure_slot_[v] == slot) {
-          dead[v] = true;
-          metrics.death_slot[v] = slot;
-          ++metrics.failed_nodes;
-          // A dead node can no longer decide; stop waiting for it.
-          if (metrics.decision_slot[v] < 0) --undecided;
-          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kFailure,
-                          static_cast<graph::NodeId>(v));
-        }
-        if (join_slot_[v] == slot) {
-          --joins_pending;
-          ++metrics.joined_nodes;
-          SINRCOLOR_TRACE(tracer, slot,
-                          dead[v] ? obs::EventKind::kRevival
-                                  : obs::EventKind::kJoin,
-                          static_cast<graph::NodeId>(v));
-          if (dead[v]) {
-            // Revival: the node rejoins fresh. It leaves the failed count and
-            // any earlier decision is void, so it is counted exactly once in
-            // whichever of failed/stalled/decided it ends the run as. Its
-            // death decremented `undecided` (directly if it died undecided,
-            // via its decision otherwise), so the rejoin re-increments.
-            dead[v] = false;
-            metrics.death_slot[v] = -1;
-            --metrics.failed_nodes;
-            metrics.decision_slot[v] = -1;
-            ++undecided;
-          } else {
-            // A late arrival was never awake and still counts as undecided
-            // from initialization; nothing to rebalance.
-            SINRCOLOR_CHECK_MSG(!awake[v], "join slot hit an awake node");
-          }
-          awake[v] = true;
-          protocols_[v]->on_wake(slot);
-        }
-        if (dead[v]) {
-          listening[v] = false;
-          continue;
-        }
-        if (!awake[v]) {
-          if (wakeups_[v] == slot && !schedule_suppressed[v]) {
-            awake[v] = true;
-            SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kWake,
-                            static_cast<graph::NodeId>(v));
-            protocols_[v]->on_wake(slot);
-          } else {
-            listening[v] = false;
-            continue;
-          }
-        }
-        ++metrics.awake_slots[v];
-        auto tx = protocols_[v]->begin_slot(slot, rngs_[v]);
-        if (tx.has_value()) {
-          tx->sender = static_cast<graph::NodeId>(v);
-          transmissions.push_back({static_cast<graph::NodeId>(v), *tx});
-          listening[v] = false;
-          ++metrics.tx_count[v];
-          SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kTx,
-                          static_cast<graph::NodeId>(v), tx->target,
-                          static_cast<std::int32_t>(tx->kind), tx->color_class);
-        } else {
-          listening[v] = true;
-          // Transient deafness: the receiver is off, but the node still ran
-          // its slot (protocol state and the interference field are
-          // unaffected — deafness is a pure receiver fault).
-          if (fault_injector_ != nullptr &&
-              fault_injector_->receiver_disabled(
-                  slot, static_cast<graph::NodeId>(v))) {
-            listening[v] = false;
-            ++metrics.fault_deaf_slots;
-          }
-        }
+      for_tiles(TilePhase::kTxDecide, parallel);
+      transmissions.clear();
+      for (std::size_t t = 0; t < tile_count; ++t) {
+        const auto& tile_tx = tile_scratch_[t].tx;
+        transmissions.insert(transmissions.end(), tile_tx.begin(),
+                             tile_tx.end());
+        const TileCounters& c = tile_scratch_[t].counters;
+        apply_delta(undecided, c.undecided);
+        apply_delta(joins_pending, c.joins_pending);
+        apply_delta(metrics.failed_nodes, c.failed);
+        metrics.joined_nodes += static_cast<std::size_t>(c.joined);
+        metrics.fault_deaf_slots += c.deaf;
+      }
+      if (parallel) {
+        std::sort(transmissions.begin(), transmissions.end(),
+                  [](const TxRecord& a, const TxRecord& b) {
+                    return a.sender < b.sender;
+                  });
       }
     }
     metrics.total_transmissions += transmissions.size();
@@ -243,6 +401,10 @@ RunMetrics Simulator::run(Slot max_slots) {
 
     // 2. Reception resolution and delivery.
     if (!transmissions.empty()) {
+      // Pack the tile-written listener bytes into the vector<bool> the
+      // InterferenceModel interface consumes (bit containers cannot take
+      // concurrent per-node writes; the byte array can).
+      for (std::size_t v = 0; v < n; ++v) listening[v] = listening_u8[v] != 0;
       std::fill(deliveries.begin(), deliveries.end(), std::nullopt);
       {
         SINRCOLOR_PROFILE(profiler, obs::Phase::kResolve);
@@ -250,7 +412,8 @@ RunMetrics Simulator::run(Slot max_slots) {
       }
       // Per-link fault drops: an otherwise successful decode is suppressed
       // before the protocol sees it. Attributed to the fault (kFaultDrop),
-      // not to interference (excluded from the kDrop pass below).
+      // not to interference (excluded from the kDrop pass below). Always on
+      // the sequential engine (injector downgrade), hence slot-loop thread.
       if (fault_injector_ != nullptr) {
         SINRCOLOR_PROFILE(profiler, obs::Phase::kFaultInject);
         auto& fault_dropped = scratch_.fault_dropped;
@@ -270,17 +433,9 @@ RunMetrics Simulator::run(Slot max_slots) {
       }
       {
         SINRCOLOR_PROFILE(profiler, obs::Phase::kDeliver);
-        for (std::size_t v = 0; v < n; ++v) {
-          if (deliveries[v].has_value()) {
-            SINRCOLOR_DCHECK(listening[v]);
-            SINRCOLOR_TRACE(tracer, slot, obs::EventKind::kDelivery,
-                            static_cast<graph::NodeId>(v),
-                            deliveries[v]->sender,
-                            static_cast<std::int32_t>(deliveries[v]->kind),
-                            deliveries[v]->color_class);
-            protocols_[v]->on_receive(slot, *deliveries[v]);
-            ++metrics.total_deliveries;
-          }
+        for_tiles(TilePhase::kDeliver, parallel);
+        for (std::size_t t = 0; t < tile_count; ++t) {
+          metrics.total_deliveries += tile_scratch_[t].counters.delivered;
         }
       }
       // Collision attribution: a listener covered by >= 1 transmitter that
@@ -317,13 +472,11 @@ RunMetrics Simulator::run(Slot max_slots) {
     // 3. End-of-slot transitions and decision tracking.
     {
       SINRCOLOR_PROFILE(profiler, obs::Phase::kEndSlot);
-      for (std::size_t v = 0; v < n; ++v) {
-        if (!awake[v] || dead[v]) continue;
-        protocols_[v]->end_slot(slot);
-        if (metrics.decision_slot[v] < 0 && protocols_[v]->decided()) {
-          metrics.decision_slot[v] = slot;
-          --undecided;
-        }
+      for_tiles(TilePhase::kEndSlot, parallel);
+      for (std::size_t t = 0; t < tile_count; ++t) {
+        apply_delta(undecided,
+                    -static_cast<std::int64_t>(
+                        tile_scratch_[t].counters.decided));
       }
       // This slot's state (colors, decisions) is now final: run the
       // end-of-slot observers (runtime invariant monitor).
@@ -340,6 +493,10 @@ RunMetrics Simulator::run(Slot max_slots) {
 
     // Allocation attribution: a slot that allocated cannot be steady-state.
     // Two thread_local reads per slot; zero when the counting build is off.
+    // (The counter is per-thread: it audits the slot-loop thread, the one
+    // that owns every merge, pack and resolve dispatch. Worker-side tile
+    // passes reuse pre-reserved buffers and are exercised by the identical
+    // sequential engine, which this counter does see.)
     const std::uint64_t slot_allocs =
         common::thread_heap_allocs() - allocs_at_slot_start;
     if (slot_allocs > 0) {
@@ -349,9 +506,22 @@ RunMetrics Simulator::run(Slot max_slots) {
   }
 
   for (std::size_t v = 0; v < n; ++v) {
-    if (!dead[v] && metrics.decision_slot[v] < 0) ++metrics.stalled_nodes;
+    if (!scratch_.dead[v] && metrics.decision_slot[v] < 0) {
+      ++metrics.stalled_nodes;
+    }
   }
   metrics.all_decided = metrics.stalled_nodes == 0;
+  // Bytes/node accounting: long-lived run state plus the metrics' own
+  // per-node arrays. Measured capacities, not an RSS guess; reported via
+  // RunMetrics::state_bytes (never serialized into run JSON — tile scratch
+  // varies with the engine while results do not).
+  metrics.state_bytes =
+      memory_bytes() +
+      metrics.decision_slot.capacity() * sizeof(Slot) +
+      metrics.death_slot.capacity() * sizeof(Slot) +
+      metrics.wake_slot.capacity() * sizeof(Slot) +
+      metrics.tx_count.capacity() * sizeof(std::uint64_t) +
+      metrics.awake_slots.capacity() * sizeof(std::uint64_t);
   if (observation_ != nullptr) {
     auto& m = observation_->metrics;
     m.counter("radio.slots").add(
@@ -369,7 +539,31 @@ RunMetrics Simulator::run(Slot max_slots) {
       m.counter("radio.fault_deaf_slots").add(metrics.fault_deaf_slots);
     }
   }
+  run_metrics_ = nullptr;
+  run_tracer_ = nullptr;
   return metrics;
+}
+
+std::size_t Simulator::memory_bytes() const {
+  const auto vec = [](const auto& v) {
+    return v.capacity() *
+           sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  std::size_t protocol_bytes = 0;
+  for (const Protocol* p : protocols_) {
+    if (p != nullptr) protocol_bytes += p->memory_bytes();
+  }
+  std::size_t tile_bytes = vec(tile_scratch_) + tiles_.memory_bytes();
+  for (const TileScratch& ts : tile_scratch_) tile_bytes += vec(ts.tx);
+  return sizeof(*this) + graph_.memory_bytes() + model_->memory_bytes() +
+         protocol_bytes + tile_bytes + vec(wakeups_) + vec(failure_slot_) +
+         vec(join_slot_) + vec(protocols_) + vec(owned_) + vec(rngs_) +
+         vec(observers_) + vec(end_observers_) + vec(scratch_.awake) +
+         vec(scratch_.dead) + vec(scratch_.schedule_suppressed) +
+         vec(scratch_.listening_u8) + scratch_.listening.capacity() / 8 +
+         vec(scratch_.transmissions) + vec(scratch_.deliveries) +
+         vec(scratch_.cover_count) + vec(scratch_.cover_sample) +
+         vec(scratch_.covered) + vec(scratch_.fault_dropped);
 }
 
 }  // namespace sinrcolor::radio

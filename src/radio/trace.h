@@ -49,6 +49,22 @@ struct RunMetrics {
   /// Last slot whose execution performed any heap allocation; -1 if none.
   /// Every slot after it ran allocation-free — the steady state.
   Slot last_alloc_slot = -1;
+  /// Resident footprint of the run's long-lived state in bytes (simulator
+  /// scratch, RNG streams, protocol state, interference-model engine scratch,
+  /// graph, tile engine, plus these per-node metric arrays), measured from
+  /// container capacities by Simulator::memory_bytes(). NOT serialized into
+  /// run JSON: tile-engine scratch varies with the configured thread count
+  /// while results do not, and run JSON must stay byte-identical across
+  /// thread counts.
+  std::size_t state_bytes = 0;
+
+  /// state_bytes normalized per node; 0.0 for an empty run.
+  double bytes_per_node() const {
+    return wake_slot.empty()
+               ? 0.0
+               : static_cast<double>(state_bytes) /
+                     static_cast<double>(wake_slot.size());
+  }
 
   /// Maximum over nodes of (decision slot − wake slot); the paper's time
   /// complexity measure ("time slots a node spends before deciding").

@@ -497,6 +497,27 @@ class FieldEngine {
   /// recorded per shard per resolve. Timing only — decodes are unaffected.
   void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
+  /// Heap footprint of the engine's scratch (capacities, all buffers),
+  /// feeding the simulator's bytes/node accounting.
+  std::size_t memory_bytes() const {
+    std::size_t bytes =
+        touched_.capacity() * sizeof(std::uint64_t) +
+        covered_.capacity() * sizeof(std::uint32_t) +
+        (soa_x_.capacity() + soa_y_.capacity() + soa_w_.capacity()) *
+            sizeof(double) +
+        pairs_.capacity() * sizeof(CandidatePair) +
+        (cand_begin_.capacity() + cand_count_.capacity() +
+         cand_idx_.capacity()) *
+            sizeof(std::uint32_t) +
+        shards_.capacity() * sizeof(Shard);
+    for (const Shard& shard : shards_) {
+      bytes += shard.candidates.capacity() * sizeof(FieldCandidate) +
+               shard.decodes.capacity() * sizeof(Decode) +
+               shard.weights.capacity() * sizeof(double);
+    }
+    return bytes;
+  }
+
  private:
   template <typename CoverageFor>
   void collect_covered(std::span<const Transmitter> txs,

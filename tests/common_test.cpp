@@ -37,6 +37,56 @@ TEST(TaskPool, ShardRangesPartitionExactly) {
   }
 }
 
+TEST(TaskPool, ShardRangeEdgeCases) {
+  // total == 0: every shard is empty but well-formed.
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto [begin, end] = TaskPool::shard_range(0, 4, s);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 0u);
+  }
+  // shards == 1: the single shard is the whole range.
+  EXPECT_EQ(TaskPool::shard_range(17, 1, 0),
+            (std::pair<std::size_t, std::size_t>{0, 17}));
+  // total < shards: the first `total` shards hold one element each and the
+  // rest are empty — the tile engine relies on empty tiles being no-ops
+  // rather than out-of-range.
+  std::size_t nonempty = 0;
+  for (std::size_t s = 0; s < 8; ++s) {
+    const auto [begin, end] = TaskPool::shard_range(3, 8, s);
+    EXPECT_LE(end - begin, 1u);
+    nonempty += (end > begin);
+  }
+  EXPECT_EQ(nonempty, 3u);
+  // total == shards: exactly one element per shard, in order.
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(TaskPool::shard_range(5, 5, s),
+              (std::pair<std::size_t, std::size_t>{s, s + 1}));
+  }
+}
+
+TEST(TaskPool, ShardOrderMergeIsScheduleInvariant) {
+  // The tiled slot engine's determinism contract: workers fill disjoint
+  // per-shard buffers in any schedule, the owner concatenates them in shard
+  // order — the merged sequence must be identical at every thread count,
+  // including exact floating-point accumulation order downstream.
+  const std::size_t total = 1013, shards = 7;
+  std::vector<double> serial;
+  for (std::size_t i = 0; i < total; ++i) {
+    serial.push_back(static_cast<double>(i) * 0.37 + 1.0);
+  }
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    TaskPool pool(threads);
+    std::vector<std::vector<double>> buf(shards);
+    pool.run_shards(shards, [&](std::size_t s) {
+      const auto [begin, end] = TaskPool::shard_range(total, shards, s);
+      for (std::size_t i = begin; i < end; ++i) buf[s].push_back(serial[i]);
+    });
+    std::vector<double> merged;
+    for (const auto& b : buf) merged.insert(merged.end(), b.begin(), b.end());
+    EXPECT_EQ(merged, serial) << "threads=" << threads;
+  }
+}
+
 TEST(TaskPool, RunsEveryShardExactlyOnce) {
   TaskPool pool(4);
   EXPECT_EQ(pool.thread_count(), 4u);

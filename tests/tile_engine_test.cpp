@@ -1,0 +1,170 @@
+// Tiled slot engine: TilePartition structure and the engine-level
+// determinism contract — a run's report is a pure function of
+// (scenario, seed), never of --slot-threads. The partition tests pin the
+// structural invariants (permutation, contiguity, determinism) the
+// fixed-shard/ordered-merge argument rests on; the run tests compare full
+// JSON reports byte for byte across thread counts on every medium
+// (docs/ARCHITECTURE.md, "Tiled slot engine").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/mw_protocol.h"
+#include "core/report.h"
+#include "geometry/deployment.h"
+#include "graph/tile_partition.h"
+#include "graph/unit_disk_graph.h"
+#include "obs/observation.h"
+
+namespace sinrcolor {
+namespace {
+
+graph::UnitDiskGraph scenario_graph(std::uint64_t seed, std::size_t n = 60) {
+  common::Rng rng(seed);
+  return graph::UnitDiskGraph(geometry::uniform_deployment(n, 3.5, rng), 1.0);
+}
+
+TEST(TilePartition, IdentityIsOneAscendingTile) {
+  const auto p = graph::TilePartition::identity(7);
+  EXPECT_EQ(p.size(), 7u);
+  EXPECT_EQ(p.tile_count(), 1u);
+  const auto tile = p.tile(0);
+  ASSERT_EQ(tile.size(), 7u);
+  for (std::size_t i = 0; i < tile.size(); ++i) {
+    EXPECT_EQ(tile[i], static_cast<graph::NodeId>(i));
+  }
+}
+
+TEST(TilePartition, EmptyAndDefaultConstructedAreSafe) {
+  const graph::TilePartition def;
+  EXPECT_EQ(def.size(), 0u);
+  EXPECT_EQ(def.tile_count(), 1u);
+  EXPECT_TRUE(def.tile(0).empty());
+  const auto empty = graph::TilePartition::identity(0);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.tile(0).empty());
+}
+
+TEST(TilePartition, SpatialIsAPermutationInContiguousTiles) {
+  const auto g = scenario_graph(91, 200);
+  const auto p = graph::TilePartition::spatial(g, 8);
+  EXPECT_EQ(p.size(), g.size());
+  EXPECT_EQ(p.tile_count(), 8u);
+  // Tiles concatenate to order() and cover every id exactly once.
+  std::vector<graph::NodeId> concat;
+  for (std::size_t t = 0; t < p.tile_count(); ++t) {
+    const auto tile = p.tile(t);
+    concat.insert(concat.end(), tile.begin(), tile.end());
+    // Near-equal split: the shard_range contract.
+    EXPECT_LE(tile.size(), g.size() / 8 + 1);
+  }
+  EXPECT_TRUE(std::equal(concat.begin(), concat.end(), p.order().begin(),
+                         p.order().end()));
+  std::set<graph::NodeId> ids(concat.begin(), concat.end());
+  EXPECT_EQ(ids.size(), g.size());
+}
+
+TEST(TilePartition, SpatialIsDeterministic) {
+  const auto g = scenario_graph(92, 150);
+  const auto a = graph::TilePartition::spatial(g, 5);
+  const auto b = graph::TilePartition::spatial(g, 5);
+  EXPECT_TRUE(std::equal(a.order().begin(), a.order().end(),
+                         b.order().begin(), b.order().end()));
+}
+
+TEST(TilePartition, SpatialClampsTileCount) {
+  const auto g = scenario_graph(93, 10);
+  // More tiles than nodes: clamped to n, every tile at most one node.
+  const auto many = graph::TilePartition::spatial(g, 100);
+  EXPECT_EQ(many.tile_count(), 10u);
+  // Zero requested: clamped to one tile holding everything.
+  const auto one = graph::TilePartition::spatial(g, 0);
+  EXPECT_EQ(one.tile_count(), 1u);
+  EXPECT_EQ(one.tile(0).size(), 10u);
+}
+
+TEST(TilePartition, DefaultTileCountIsPureAndBounded) {
+  using graph::TilePartition;
+  EXPECT_EQ(TilePartition::default_tile_count(0), 1u);
+  EXPECT_EQ(TilePartition::default_tile_count(1), 1u);
+  EXPECT_EQ(TilePartition::default_tile_count(256), 1u);
+  EXPECT_EQ(TilePartition::default_tile_count(257), 2u);
+  EXPECT_EQ(TilePartition::default_tile_count(1U << 20), 64u);
+}
+
+TEST(TilePartition, ReportsMemoryFootprint) {
+  const auto g = scenario_graph(94, 100);
+  const auto p = graph::TilePartition::spatial(g, 4);
+  EXPECT_GE(p.memory_bytes(), g.size() * sizeof(graph::NodeId));
+}
+
+// One config per medium; the tile engine must be invisible in all of them.
+core::MwRunConfig medium_config(bool graph_model, bool fading) {
+  core::MwRunConfig cfg;
+  cfg.seed = 515;
+  cfg.graph_model = graph_model;
+  if (fading) cfg.fading.kind = sinr::FadingKind::kLogNormal;
+  return cfg;
+}
+
+std::string run_report(const graph::UnitDiskGraph& g, core::MwRunConfig cfg,
+                       std::size_t slot_threads) {
+  cfg.slot_threads = slot_threads;
+  return core::to_json(core::run_mw_coloring(g, cfg));
+}
+
+TEST(TiledSlotEngine, SlotThreadsDoNotChangeTheSinrReport) {
+  const auto g = scenario_graph(95);
+  const auto cfg = medium_config(false, false);
+  const std::string t1 = run_report(g, cfg, 1);
+  EXPECT_EQ(t1, run_report(g, cfg, 4));
+  EXPECT_FALSE(t1.empty());
+}
+
+TEST(TiledSlotEngine, SlotThreadsDoNotChangeTheFadingReport) {
+  const auto g = scenario_graph(96);
+  const auto cfg = medium_config(false, true);
+  EXPECT_EQ(run_report(g, cfg, 1), run_report(g, cfg, 4));
+}
+
+TEST(TiledSlotEngine, SlotThreadsDoNotChangeTheGraphMediumReport) {
+  const auto g = scenario_graph(97);
+  const auto cfg = medium_config(true, false);
+  EXPECT_EQ(run_report(g, cfg, 1), run_report(g, cfg, 4));
+}
+
+TEST(TiledSlotEngine, TracedRunMatchesUntracedAtAnyThreadCount) {
+  // An attached tracer downgrades the simulator to the sequential engine
+  // (trace event order is part of the sequential contract); the REPORT must
+  // still match the untraced threaded run byte for byte.
+  const auto g = scenario_graph(98);
+  auto cfg = medium_config(false, false);
+  const std::string untraced = run_report(g, cfg, 4);
+
+  cfg.slot_threads = 4;
+  obs::RunObservation observation(std::size_t{1} << 22);
+  core::MwInstance instance(g, cfg);
+  instance.attach_observation(&observation);
+  const std::string traced = core::to_json(instance.run());
+  EXPECT_EQ(untraced, traced);
+  EXPECT_GT(observation.trace.recorded(), 0u);
+}
+
+TEST(TiledSlotEngine, RunReportsStateBytes) {
+  const auto g = scenario_graph(99);
+  const auto cfg = medium_config(false, false);
+  core::MwRunConfig run_cfg = cfg;
+  run_cfg.slot_threads = 2;
+  const auto r = core::run_mw_coloring(g, run_cfg);
+  // The accounting walks simulator + model + protocols + metric arrays, so
+  // the footprint is at least a per-node state record for every node.
+  EXPECT_GE(r.metrics.state_bytes, g.size() * sizeof(graph::NodeId));
+  EXPECT_GT(r.metrics.bytes_per_node(), 0.0);
+}
+
+}  // namespace
+}  // namespace sinrcolor

@@ -8,18 +8,28 @@ Usage:
 
 Every PATH is an envelope *.json file or a directory scanned (sorted, non-
 recursive) for them. Metrics are the numeric leaves of the envelope payload,
-flattened to dotted keys ("serial.wall_us", "rows.3.drop_rate"); a metric is
-TIME-LIKE when its leaf name ends in `_us` or `_ms` or contains `wall`.
+flattened to dotted keys ("serial.wall_us", "x20.slots_per_sec"), and fall
+into three classes by leaf name:
+  TIME-LIKE   ends in `_us`/`_ms` or contains `wall`   — lower is better
+  RATE-LIKE   ends in `_per_sec`/`_per_s` or contains
+              `speedup`/`throughput`                   — higher is better
+  MEMORY-LIKE ends in `_bytes` or contains `rss` or
+              `bytes_per_node`                          — trajectory only
+A leaf matching both time and rate patterns counts as time-like.
 
-table — one row per time-like metric of every envelope: experiment, git sha,
-thread count, metric, value. This is the trajectory artifact CI uploads so a
-perf history is one `git log`-shaped glance, not an artifact spelunk.
+table — one row per tracked (time/rate/memory-like) metric of every
+envelope: experiment, git sha, thread count, metric, value. This is the
+trajectory artifact CI uploads so a perf (and memory) history is one
+`git log`-shaped glance, not an artifact spelunk.
 
-diff — compares the time-like metrics of BASE and NEW, matched by
-(experiment, metric). A metric REGRESSES when new > base * (1 + tolerance)
-and base >= min-base (raw units; sub-threshold timings are noise, not
-signal). Improvements and sub-threshold moves are reported but never fail.
-Metrics or experiments present on only one side are reported as notes.
+diff — compares the judged (time- and rate-like) metrics of BASE and NEW,
+matched by (experiment, metric). A time-like metric REGRESSES when
+new > base * (1 + tolerance); a rate-like metric REGRESSES when
+new < base * (1 - tolerance). Either way base >= min-base must hold (raw
+units; sub-threshold values are noise, not signal). Improvements and
+sub-threshold moves are reported but never fail. Memory-like metrics are
+never judged (allocator jitter is not a perf signal). Metrics or
+experiments present on only one side are reported as notes.
 
 Exit status: 0 no regression, 1 at least one metric regressed, 2 invocation
 problems (unknown flag, missing/unreadable/invalid file; one-line stderr
@@ -88,8 +98,25 @@ def flatten(value, prefix: str = "") -> dict[str, float]:
 
 
 def time_like(key: str) -> bool:
+    """Lower-is-better: durations."""
     leaf = key.rsplit(".", 1)[-1]
     return leaf.endswith("_us") or leaf.endswith("_ms") or "wall" in leaf
+
+
+def rate_like(key: str) -> bool:
+    """Higher-is-better: throughput rates and speedups. A leaf that also
+    matches the time-like patterns is classified time-like (see cmd_diff)."""
+    leaf = key.rsplit(".", 1)[-1]
+    return (leaf.endswith("_per_sec") or leaf.endswith("_per_s")
+            or "speedup" in leaf or "throughput" in leaf)
+
+
+def memory_like(key: str) -> bool:
+    """Trajectory-only: footprint counters (x20.bytes_per_node,
+    x20.peak_rss_bytes). Shown by `table`, never judged by `diff`."""
+    leaf = key.rsplit(".", 1)[-1]
+    return (leaf.endswith("_bytes") or "rss" in leaf
+            or "bytes_per_node" in leaf)
 
 
 def time_metrics(envelope: dict) -> dict[str, float]:
@@ -97,16 +124,28 @@ def time_metrics(envelope: dict) -> dict[str, float]:
             if time_like(k)}
 
 
+def judged_metrics(envelope: dict) -> dict[str, float]:
+    """What `diff` judges: time-like plus rate-like leaves."""
+    return {k: v for k, v in flatten(envelope["payload"]).items()
+            if time_like(k) or rate_like(k)}
+
+
+def tracked_metrics(envelope: dict) -> dict[str, float]:
+    """What `table` shows: judged metrics plus the memory trajectory."""
+    return {k: v for k, v in flatten(envelope["payload"]).items()
+            if time_like(k) or rate_like(k) or memory_like(k)}
+
+
 def cmd_table(paths: list[str]) -> int:
     rows = []
     for path in paths:
         for file in collect(path):
             env = load_envelope(file)
-            for key, value in sorted(time_metrics(env).items()):
+            for key, value in sorted(tracked_metrics(env).items()):
                 rows.append((env["experiment"], env["git_sha"],
                              str(env["threads"]), key, f"{value:.0f}"))
     if not rows:
-        raise fail("no time-like metrics found in any envelope")
+        raise fail("no tracked metrics found in any envelope")
     headers = ("experiment", "git_sha", "threads", "metric", "value")
     widths = [max(len(headers[c]), max(len(r[c]) for r in rows))
               for c in range(len(headers))]
@@ -138,7 +177,7 @@ def cmd_diff(base_path: str, new_path: str, tolerance: float,
             side = "base" if name in base else "new"
             print(f"note: experiment {name} only in {side}")
             continue
-        b, n = time_metrics(base[name]), time_metrics(new[name])
+        b, n = judged_metrics(base[name]), judged_metrics(new[name])
         for key in sorted(set(b) | set(n)):
             if key not in b or key not in n:
                 side = "base" if key in b else "new"
@@ -148,7 +187,12 @@ def cmd_diff(base_path: str, new_path: str, tolerance: float,
                 continue  # below the noise floor — never judged
             ratio = n[key] / b[key]
             delta = f"{(ratio - 1.0) * 100.0:+.1f}%"
-            if ratio > 1.0 + tolerance:
+            # Time-like wins on a double match, so a regression is always
+            # "the direction users lose": slower, or less throughput.
+            higher_is_better = rate_like(key) and not time_like(key)
+            regressed = (ratio < 1.0 - tolerance if higher_is_better
+                         else ratio > 1.0 + tolerance)
+            if regressed:
                 regressions += 1
                 print(f"REGRESSION {name}.{key}: "
                       f"{b[key]:.0f} -> {n[key]:.0f} ({delta})")

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Unit tests for bench_report: payload flattening, time-like metric
-selection, trajectory table, and the diff's regression contract (exit 0/1/2).
-Run directly or via ctest (test name `benchreport.unit`)."""
+"""Unit tests for bench_report: payload flattening, metric classification
+(time-like lower-is-better, rate-like higher-is-better, memory-like
+trajectory-only), trajectory table, and the diff's regression contract
+(exit 0/1/2). Run directly or via ctest (test name `benchreport.unit`)."""
 
 import copy
 import io
@@ -28,6 +29,8 @@ ENVELOPE = {
         "serial": {"threads": 1, "wall_us": 100000.0, "p50_us": 50000.0},
         "threaded": {"threads": 4, "wall_us": 30000.0},
         "speedup": 3.3,
+        "slots_per_sec": 20000.0,
+        "peak_rss_bytes": 6553600.0,
         "results_identical": True,
         "rows": [{"drop_rate": 0.1, "p95_us": 2000.0}],
     },
@@ -58,6 +61,33 @@ class FlattenTest(unittest.TestCase):
         self.assertNotIn("speedup", metrics)
         self.assertNotIn("serial.threads", metrics)
 
+    def test_rate_like_selects_throughput_and_speedup_leaves(self):
+        self.assertTrue(bench_report.rate_like("x20.slots_per_sec"))
+        self.assertTrue(bench_report.rate_like("rows_per_s"))
+        self.assertTrue(bench_report.rate_like("speedup"))
+        self.assertTrue(bench_report.rate_like("x20.speedup_permille"))
+        self.assertTrue(bench_report.rate_like("resolve_throughput"))
+        self.assertFalse(bench_report.rate_like("serial.wall_us"))
+        self.assertFalse(bench_report.rate_like("n"))
+        # Leaf-only match, same as time_like: no prefix leaks.
+        self.assertFalse(bench_report.rate_like("speedup_dir.threads"))
+
+    def test_memory_like_selects_footprint_leaves(self):
+        self.assertTrue(bench_report.memory_like("x20.peak_rss_bytes"))
+        self.assertTrue(bench_report.memory_like("x20.bytes_per_node"))
+        self.assertFalse(bench_report.memory_like("serial.wall_us"))
+        self.assertFalse(bench_report.memory_like("speedup"))
+
+    def test_judged_and_tracked_metric_selection(self):
+        judged = bench_report.judged_metrics(ENVELOPE)
+        self.assertIn("serial.wall_us", judged)
+        self.assertIn("slots_per_sec", judged)
+        self.assertNotIn("peak_rss_bytes", judged)
+        tracked = bench_report.tracked_metrics(ENVELOPE)
+        self.assertIn("peak_rss_bytes", tracked)
+        self.assertIn("speedup", tracked)
+        self.assertNotIn("rows.0.drop_rate", tracked)
+
 
 class CliTest(unittest.TestCase):
     def setUp(self):
@@ -80,14 +110,19 @@ class CliTest(unittest.TestCase):
             code = e.code
         return code, out.getvalue(), err.getvalue()
 
-    def test_table_lists_time_metrics(self):
+    def test_table_lists_tracked_metrics(self):
         base = self.write("a", "BENCH_sweep.json", ENVELOPE)
         code, out, _ = self.run_main(["table", base])
         self.assertEqual(code, 0)
         self.assertIn("serial.wall_us", out)
         self.assertIn("x2_sweep_bench", out)
         self.assertIn("0123abcd4567", out)
-        self.assertNotIn("speedup", out)
+        # Rate and memory metrics are part of the trajectory...
+        self.assertIn("speedup", out)
+        self.assertIn("slots_per_sec", out)
+        self.assertIn("peak_rss_bytes", out)
+        # ...but untyped payload numbers are not.
+        self.assertNotIn("drop_rate", out)
 
     def test_diff_identical_exits_0(self):
         base = self.write("a", "BENCH_sweep.json", ENVELOPE)
@@ -139,6 +174,51 @@ class CliTest(unittest.TestCase):
         code, out, _ = self.run_main(["diff", base, new])
         self.assertEqual(code, 0)
         self.assertIn("-50.0%", out)
+
+    def test_diff_rate_drop_is_regression(self):
+        slow = copy.deepcopy(ENVELOPE)
+        slow["payload"]["slots_per_sec"] *= 0.8  # throughput fell 20%
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", slow)
+        code, out, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION x2_sweep_bench.slots_per_sec", out)
+
+    def test_diff_rate_rise_passes(self):
+        fast = copy.deepcopy(ENVELOPE)
+        fast["payload"]["slots_per_sec"] *= 1.5
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", fast)
+        code, out, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 0)
+        self.assertIn("+50.0%", out)
+
+    def test_diff_rate_drop_within_tolerance_passes(self):
+        slow = copy.deepcopy(ENVELOPE)
+        slow["payload"]["slots_per_sec"] *= 0.95
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", slow)
+        code, _, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 0)
+
+    def test_diff_rate_respects_min_base_floor(self):
+        # speedup=3.3 is rate-like but below the 1000.0 default floor:
+        # halving it must not fail the diff.
+        slow = copy.deepcopy(ENVELOPE)
+        slow["payload"]["speedup"] = 1.1
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", slow)
+        code, _, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 0)
+
+    def test_diff_never_judges_memory_metrics(self):
+        bloated = copy.deepcopy(ENVELOPE)
+        bloated["payload"]["peak_rss_bytes"] *= 3.0
+        base = self.write("a", "BENCH_sweep.json", ENVELOPE)
+        new = self.write("b", "BENCH_sweep.json", bloated)
+        code, out, _ = self.run_main(["diff", base, new])
+        self.assertEqual(code, 0)
+        self.assertNotIn("peak_rss_bytes", out)
 
     def test_diff_notes_one_sided_experiments(self):
         other = copy.deepcopy(ENVELOPE)

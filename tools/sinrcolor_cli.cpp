@@ -4,8 +4,8 @@
 //                          [--rho=..] [--profile=practical|theory]
 //   sinrcolor_cli color    [--n=..] [--side=..] [--seed=..] [--deployment=..]
 //                          [--wakeup=sync|uniform] [--resolve=field|simd|naive]
-//                          [--threads=..] [--trials=..] [--faults=plan.json]
-//                          [--json=out.json] [--quiet]
+//                          [--threads=..] [--slot-threads=..] [--trials=..]
+//                          [--faults=plan.json] [--json=out.json] [--quiet]
 //   sinrcolor_cli sweep    [--n-list=64,128,..] [--trials=..] [--threads=..]
 //                          [--avg-degree=..] [--seed=..] [--resolve=..]
 //                          [--shared-topology] [--csv=out.csv] [--quiet]
@@ -118,7 +118,8 @@ sinr::SinrParams phys_for(const graph::UnitDiskGraph& g) {
 // --resolve=field|simd|naive picks the SINR reception path (field is the fast
 // default; simd the SoA batch kernel — docs/KERNELS.md; naive the A/B
 // oracle — docs/PERFORMANCE.md), --threads=N the worker count of the
-// field/simd paths. Every value is byte-identical.
+// field/simd paths, --slot-threads=N the worker count of the simulator's
+// tiled slot engine (docs/ARCHITECTURE.md). Every value is byte-identical.
 void apply_resolve_flags(const common::Cli& cli, core::MwRunConfig& cfg) {
   const std::string resolve = cli.get("resolve", "field");
   if (!sinr::resolve_kind_from_string(resolve, cfg.resolve)) {
@@ -127,6 +128,8 @@ void apply_resolve_flags(const common::Cli& cli, core::MwRunConfig& cfg) {
     std::exit(2);
   }
   cfg.threads = static_cast<std::size_t>(cli.get_int_at_least("threads", 1, 1));
+  cfg.slot_threads =
+      static_cast<std::size_t>(cli.get_int_at_least("slot-threads", 1, 1));
 }
 
 /// Loads --faults=<plan.json> when present; exits 2 with the parse /
@@ -223,6 +226,7 @@ int cmd_color_trials(const common::Cli& cli, const graph::UnitDiskGraph& g,
 
   const std::size_t threads = base_cfg.threads;
   base_cfg.threads = 1;  // trial-level parallelism; no nested resolve pools
+  base_cfg.slot_threads = 1;  // likewise for per-trial slot pools
   const std::uint64_t base_seed = base_cfg.seed;
 
   struct Trial {
